@@ -1,0 +1,94 @@
+"""Shared infrastructure for the benchmark suite.
+
+Every ``test_fig*`` / ``test_ablation*`` benchmark:
+
+1. regenerates its table/figure at the configured resolution
+   (``REPRO_BENCH_SIZES``, default a curated 13-point grid that covers the
+   period-4 spikes, the 552-element application case, and the period-48
+   sawtooth peak at 575 — set ``REPRO_BENCH_SIZES=500:701:1`` for the
+   paper's full grid),
+2. writes the paper-style textual report to ``benchmarks/results/``,
+3. asserts the paper's qualitative claims (who wins, by roughly what
+   factor, where the shape features fall),
+4. times one representative simulator invocation with pytest-benchmark.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+#: Curated default grid: consecutive sizes around 552 (spikes), aligned
+#: sizes across the range (levels), and the 573..576 sawtooth edge.
+CURATED_SIZES = [552, 553, 554, 555, 556, 560, 564, 568,
+                 572, 573, 574, 575, 576]
+
+
+def bench_sizes() -> list[int]:
+    spec = os.environ.get("REPRO_BENCH_SIZES")
+    if spec is None:
+        return list(CURATED_SIZES)
+    start, stop, step = (int(x) for x in spec.split(":"))
+    return list(range(start, stop, step))
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def write_report(results_dir: pathlib.Path, name: str, text: str) -> None:
+    (results_dir / f"{name}.txt").write_text(text + "\n")
+    print()
+    print(text)
+
+
+def series_by_label(result, label: str):
+    return next(s for s in result.series if s.label == label)
+
+
+def spike_amplitude(series) -> float:
+    """Mean ratio of unaligned-size latency to the neighbouring aligned
+    sizes — >1 means the period-4 cache-line spikes are present."""
+    sizes = list(series.sizes)
+    ratios = []
+    for i, n in enumerate(sizes):
+        if n % 4 == 0:
+            continue
+        lower = n - (n % 4)
+        upper = lower + 4
+        if lower in sizes and upper in sizes:
+            aligned = 0.5 * (series.values_us[sizes.index(lower)]
+                             + series.values_us[sizes.index(upper)])
+            ratios.append(series.values_us[i] / aligned)
+    if not ratios:
+        raise AssertionError("size grid has no spike probes; "
+                             "include unaligned sizes")
+    return sum(ratios) / len(ratios)
+
+
+def sawtooth_drop(series) -> float:
+    """latency(575) / latency(576): the load-balancing sawtooth edge
+    (575 = worst standard split, 576 = 48*12 = perfectly divisible).
+
+    Only meaningful for the *standard* partition: at 576 the balanced
+    blocks also become line-aligned, so its drop conflates the period-4
+    padding spike with the sawtooth — use :func:`sawtooth_ramp` to test
+    balanced flatness.
+    """
+    return series.at(575) / series.at(576)
+
+
+def sawtooth_ramp(series) -> float:
+    """mean latency(573..575) / mean latency(553..555): the rise across
+    the period-48 sawtooth.  The standard partition's first block grows
+    from 11+25 to 11+47 elements over this span (ramp > 1), the balanced
+    partition's block mix barely changes (ramp ~ 1)."""
+    lo = [series.at(n) for n in (553, 554, 555)]
+    hi = [series.at(n) for n in (573, 574, 575)]
+    return (sum(hi) / len(hi)) / (sum(lo) / len(lo))

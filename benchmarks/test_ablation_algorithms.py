@@ -1,0 +1,61 @@
+"""Ablation: Allreduce algorithm selection (the RCKMPI design point).
+
+RCKMPI "contains sophisticated algorithms for collective operations
+[which] provide a set of routines for different message sizes and pick
+the one that performs best at runtime" (Section III).  This ablation
+reproduces the classic crossover behind that design: recursive doubling
+(log p rounds of full vectors) wins for short vectors, the ring
+ReduceScatter+Allgather (2(p-1) rounds of 1/p-size blocks) wins for long
+ones.
+"""
+
+import numpy as np
+
+from repro.core.registry import make_communicator
+from repro.hw.config import SCCConfig
+from repro.hw.machine import Machine
+from repro.sim.clock import ps_to_us
+
+from conftest import write_report
+
+ALGOS = ("rsag", "reduce_bcast", "recursive_doubling", "recursive_halving")
+SIZES = (8, 64, 552, 4096)
+
+
+def allreduce_us(algo: str, n: int) -> float:
+    machine = Machine(SCCConfig())
+    comm = make_communicator(machine, "lightweight_balanced")
+    rng = np.random.default_rng(1)
+    inputs = [rng.normal(size=n) for _ in range(48)]
+
+    def program(env):
+        yield from comm.allreduce(env, inputs[env.rank], algo=algo)
+
+    return ps_to_us(machine.run_spmd(program).elapsed_ps)
+
+
+def test_ablation_allreduce_algorithms(benchmark, results_dir):
+    table = {n: {algo: allreduce_us(algo, n) for algo in ALGOS}
+             for n in SIZES}
+
+    lines = ["=== Allreduce algorithm ablation (48 cores, lightweight"
+             " balanced stack) ===",
+             f"{'n':>6}  " + "  ".join(f"{a:>20}" for a in ALGOS)]
+    for n in SIZES:
+        lines.append(f"{n:>6}  " + "  ".join(
+            f"{table[n][a]:>18.1f}us" for a in ALGOS))
+    best = {n: min(table[n], key=table[n].get) for n in SIZES}
+    lines.append("")
+    lines.append("winners: " + ", ".join(f"n={n}: {best[n]}"
+                                         for n in SIZES))
+    write_report(results_dir, "ablation_algorithms", "\n".join(lines))
+
+    # The crossover: log-round algorithms win short, ring wins long.
+    assert best[8] in ("recursive_doubling", "reduce_bcast",
+                       "recursive_halving")
+    assert best[4096] in ("rsag", "recursive_halving")
+    # Recursive doubling's full-vector rounds must lose badly at 4096.
+    assert table[4096]["recursive_doubling"] > 1.3 * table[4096]["rsag"]
+
+    benchmark.pedantic(allreduce_us, args=("rsag", 552),
+                       rounds=1, iterations=1)

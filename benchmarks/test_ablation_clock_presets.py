@@ -1,0 +1,42 @@
+"""Ablation: SCC clock presets.
+
+The SCC's sccKit supports several core/mesh/DRAM frequency presets; the
+paper uses the standard 533/800/800.  Faster cores shrink the software
+overheads (which dominate the optimized stacks), while the mesh frequency
+scales the wire component — so the *relative* benefit of the lightweight
+primitives grows with core frequency.
+"""
+
+from repro.bench.runner import measure_collective
+from repro.hw.config import config_for_preset
+
+from conftest import write_report
+
+
+def test_ablation_clock_presets(benchmark, results_dir):
+    presets = ["533_800_800", "800_800_800", "800_1600_800"]
+    rows = {}
+    for preset in presets:
+        cfg = lambda: config_for_preset(preset)  # noqa: E731
+        blocking = measure_collective("allreduce", "blocking", 552,
+                                      config=cfg())
+        balanced = measure_collective("allreduce", "lightweight_balanced",
+                                      552, config=cfg())
+        rows[preset] = (blocking, balanced, blocking / balanced)
+
+    lines = ["=== Clock-preset ablation: Allreduce n = 552 ===",
+             f"{'preset':<14}{'blocking':>12}{'balanced':>12}{'speedup':>9}"]
+    for preset, (b, o, s) in rows.items():
+        lines.append(f"{preset:<14}{b:>10.1f}us{o:>10.1f}us{s:>8.2f}x")
+    write_report(results_dir, "ablation_clock_presets", "\n".join(lines))
+
+    # Faster cores make everything faster...
+    assert rows["800_800_800"][0] < rows["533_800_800"][0]
+    assert rows["800_800_800"][1] < rows["533_800_800"][1]
+    # ...and a faster mesh helps further.
+    assert rows["800_1600_800"][1] <= rows["800_800_800"][1]
+
+    benchmark.pedantic(
+        measure_collective, args=("allreduce", "lightweight_balanced", 552),
+        kwargs={"config": config_for_preset("800_800_800")},
+        rounds=1, iterations=1)

@@ -1,0 +1,70 @@
+"""Ablation: MPB port contention.
+
+The default model charges MPB accesses by latency only; the optional
+`model_mpb_contention` flag serializes concurrent bulk transfers hitting
+the same MPB.  Finding (documented in EXPERIMENTS.md): the rendezvous
+flag protocol already orders the owner's put and the neighbour's get of
+the same buffer, so the ring collectives are nearly contention-free —
+the lock only bites when accesses genuinely overlap, as in the fan-in
+microbenchmark below (many cores writing one victim MPB at once).
+"""
+
+import numpy as np
+
+from repro.bench.runner import measure_collective
+from repro.hw.config import SCCConfig
+from repro.hw.machine import Machine
+from repro.rcce.api import comm_buffer
+from repro.rcce.transfer import put_bytes
+from repro.sim.clock import ps_to_us
+
+from conftest import write_report
+
+WRITERS = 8
+BYTES = 3200
+
+
+def fan_in_elapsed(contention: bool) -> float:
+    """WRITERS cores simultaneously write disjoint slices of one MPB."""
+    m = Machine(SCCConfig(model_mpb_contention=contention))
+    data = np.zeros(BYTES // WRITERS, dtype=np.uint8)
+
+    def program(env):
+        if 1 <= env.rank <= WRITERS:
+            region = comm_buffer(m, env.core_of_rank(0))
+            yield from put_bytes(env, region, data,
+                                 at=(env.rank - 1) * data.size)
+        else:
+            yield from env.compute(0)
+
+    return ps_to_us(m.run_spmd(program).elapsed_ps)
+
+
+def test_ablation_contention(benchmark, results_dir):
+    fan_free = fan_in_elapsed(False)
+    fan_locked = fan_in_elapsed(True)
+
+    cfg_on = SCCConfig(model_mpb_contention=True)
+    ring_free = measure_collective("allreduce", "lightweight_balanced", 552)
+    ring_locked = measure_collective("allreduce", "lightweight_balanced",
+                                     552, config=cfg_on)
+
+    report = "\n".join([
+        "=== MPB port-contention ablation ===",
+        f"fan-in ({WRITERS} writers, one MPB): "
+        f"free {fan_free:8.1f}us   locked {fan_locked:8.1f}us   "
+        f"({fan_locked / fan_free:.2f}x)",
+        f"ring Allreduce n=552:              "
+        f"free {ring_free:8.1f}us   locked {ring_locked:8.1f}us   "
+        f"({ring_locked / ring_free:.2f}x)",
+        "",
+        "fan-in traffic serializes hard; the rendezvous-ordered ring is",
+        "structurally contention-free (the paper's protocols never",
+        "overlap same-port bulk accesses).",
+    ])
+    write_report(results_dir, "ablation_contention", report)
+
+    assert fan_locked > 2.0 * fan_free      # genuine overlap serializes
+    assert ring_locked <= ring_free * 1.05  # rendezvous rings barely care
+
+    benchmark.pedantic(fan_in_elapsed, args=(True,), rounds=1, iterations=1)

@@ -1,0 +1,21 @@
+"""Fig. 6: block sizes and imbalance ratios, standard vs optimized split."""
+
+from repro.core.blocks import balanced_partition, standard_partition
+from repro.bench.figures import fig6
+
+from conftest import write_report
+
+
+def test_fig6_block_table(benchmark, results_dir):
+    report = fig6(p=48)
+    write_report(results_dir, "fig6", report)
+
+    # Paper annotations: 528 -> 1:1, 552 -> ~3.2:1, 575 -> ~5.3:1 for the
+    # standard split; all ~1.1:1 (or exactly 1:1) when balanced.
+    assert standard_partition(528, 48).imbalance_ratio() == 1.0
+    assert 3.1 < standard_partition(552, 48).imbalance_ratio() < 3.3
+    assert 5.2 < standard_partition(575, 48).imbalance_ratio() < 5.4
+    assert balanced_partition(552, 48).imbalance_ratio() < 1.1
+    assert balanced_partition(575, 48).imbalance_ratio() < 1.1
+
+    benchmark.pedantic(fig6, kwargs={"p": 48}, rounds=3, iterations=1)

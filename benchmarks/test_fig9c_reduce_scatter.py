@@ -1,0 +1,52 @@
+"""Fig. 9c: ReduceScatter latency vs vector size.
+
+The ring (bucket) algorithm under all optimization steps: relaxed
+synchronization, lightweight primitives (the paper credits them with an
+extra improvement for the block-subdividing collectives), and balanced
+blocks (which flatten the period-48 sawtooth).
+"""
+
+from repro.bench.figures import fig9
+from repro.bench.report import mean_speedup
+from repro.bench.runner import measure_collective
+
+from conftest import (bench_sizes, sawtooth_drop, sawtooth_ramp,
+                      series_by_label, spike_amplitude, write_report)
+
+
+def test_fig9c_reduce_scatter(benchmark, results_dir):
+    result = fig9("9c", sizes=bench_sizes())
+    write_report(results_dir, "fig9c_reduce_scatter", result.render())
+
+    blocking = series_by_label(result, "blocking")
+    ircce = series_by_label(result, "ircce")
+    lightweight = series_by_label(result, "lightweight")
+    balanced = series_by_label(result, "lightweight_balanced")
+    rckmpi = series_by_label(result, "rckmpi")
+
+    # Monotone improvement through the optimization steps.
+    assert mean_speedup(blocking, ircce) > 1.0
+    assert mean_speedup(ircce, lightweight) > 1.05
+    assert mean_speedup(lightweight, balanced) > 1.05
+
+    # Overall within the paper's "roughly 2 to 3" summary band.
+    total = mean_speedup(blocking, balanced)
+    assert 1.5 < total < 3.5, f"total speedup {total:.2f}"
+
+    # RCKMPI 2x-5x worse than the baseline here.
+    rck = mean_speedup(rckmpi, blocking)
+    assert 1.5 < rck < 5.5, f"rckmpi is {rck:.2f}x slower"
+
+    # Sawtooth: the standard partition ramps across the 48-period and
+    # drops at 576; the balanced partition shows no ramp.
+    assert sawtooth_drop(lightweight) > 1.2
+    assert sawtooth_ramp(lightweight) > 1.1
+    assert sawtooth_ramp(balanced) < 1.05
+
+    # Period-4 spikes exist for the RCCE-family stacks.
+    assert spike_amplitude(blocking) > 1.01
+
+    benchmark.pedantic(
+        measure_collective, args=("reduce_scatter", "lightweight_balanced",
+                                  552),
+        rounds=1, iterations=1)

@@ -1,0 +1,38 @@
+"""Fig. 9d: Broadcast latency vs vector size.
+
+RCCE_comm's long-message broadcast (binomial scatter + ring allgather of
+partition blocks) under the optimization steps; the paper credits the
+lightweight primitives with ~1.8x here and the balancing applies to the
+scatter/allgather block sizes.
+"""
+
+from repro.bench.figures import fig9
+from repro.bench.report import mean_speedup
+from repro.bench.runner import measure_collective
+
+from conftest import bench_sizes, series_by_label, write_report
+
+
+def test_fig9d_broadcast(benchmark, results_dir):
+    result = fig9("9d", sizes=bench_sizes())
+    write_report(results_dir, "fig9d_broadcast", result.render())
+
+    blocking = series_by_label(result, "blocking")
+    ircce = series_by_label(result, "ircce")
+    lightweight = series_by_label(result, "lightweight")
+    balanced = series_by_label(result, "lightweight_balanced")
+    rckmpi = series_by_label(result, "rckmpi")
+
+    # Lightweight primitives buy a clear improvement (paper: ~1.8x).
+    lw_gain = mean_speedup(ircce, lightweight)
+    assert lw_gain > 1.2, f"lightweight gain only {lw_gain:.2f}"
+
+    total = mean_speedup(blocking, balanced)
+    assert 1.5 < total < 3.5, f"total speedup {total:.2f}"
+
+    rck = mean_speedup(rckmpi, blocking)
+    assert 1.5 < rck < 5.5, f"rckmpi is {rck:.2f}x slower"
+
+    benchmark.pedantic(
+        measure_collective, args=("bcast", "lightweight_balanced", 552),
+        rounds=1, iterations=1)

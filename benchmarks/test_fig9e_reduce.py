@@ -1,0 +1,42 @@
+"""Fig. 9e: Reduce latency vs vector size.
+
+Long-vector Reduce (ring ReduceScatter + binomial gather).  The paper:
+~1.6x from lightweight non-blocking primitives, and the clearest view of
+the load-balancing effect — latency of the unbalanced stacks rises
+linearly between multiples of 48 and drops at each multiple, while the
+balanced variant stays flat.
+"""
+
+from repro.bench.figures import fig9
+from repro.bench.report import mean_speedup
+from repro.bench.runner import measure_collective
+
+from conftest import (bench_sizes, sawtooth_drop, sawtooth_ramp,
+                      series_by_label, write_report)
+
+
+def test_fig9e_reduce(benchmark, results_dir):
+    result = fig9("9e", sizes=bench_sizes())
+    write_report(results_dir, "fig9e_reduce", result.render())
+
+    blocking = series_by_label(result, "blocking")
+    lightweight = series_by_label(result, "lightweight")
+    balanced = series_by_label(result, "lightweight_balanced")
+    rckmpi = series_by_label(result, "rckmpi")
+
+    # Paper: accelerated ~1.6x on average with lightweight primitives.
+    speedup = mean_speedup(blocking, lightweight)
+    assert 1.3 < speedup < 2.8, f"blocking->lightweight {speedup:.2f}"
+
+    # Sawtooth visible for the standard partition, no ramp for balanced.
+    assert sawtooth_drop(lightweight) > 1.2
+    assert sawtooth_drop(blocking) > 1.1
+    assert sawtooth_ramp(lightweight) > 1.1
+    assert sawtooth_ramp(balanced) < 1.05
+
+    rck = mean_speedup(rckmpi, blocking)
+    assert 1.5 < rck < 5.5
+
+    benchmark.pedantic(
+        measure_collective, args=("reduce", "lightweight_balanced", 552),
+        rounds=1, iterations=1)

@@ -1,0 +1,44 @@
+"""Section IV: the step-wise Allreduce speedups at the application's
+vector size (552 doubles = 276 complex Fourier coefficients).
+
+Paper text:
+  IV-A  blocking  -> iRCCE       ~ +25%
+  IV-B  iRCCE     -> lightweight ~ +65%
+  IV-C  lightweight -> balanced  ~ +28%
+  IV-D  balanced  -> MPB-direct  ~ +10% (erratum active)
+"""
+
+from repro.bench.runner import measure_collective
+
+from conftest import write_report
+
+STEPS = [
+    ("blocking", "ircce", 1.25, 0.15),
+    ("ircce", "lightweight", 1.65, 0.25),
+    ("lightweight", "lightweight_balanced", 1.28, 0.15),
+    ("lightweight_balanced", "mpb", 1.10, 0.12),
+]
+
+
+def test_sec4_stepwise_allreduce(benchmark, results_dir):
+    lat = {
+        stack: measure_collective("allreduce", stack, 552)
+        for stack in ("blocking", "ircce", "lightweight",
+                      "lightweight_balanced", "mpb")
+    }
+    lines = ["=== Section IV step-wise Allreduce speedups (n = 552) ===",
+             f"{'step':<44}{'measured':>10}{'paper':>8}"]
+    for before, after, target, tol in STEPS:
+        measured = lat[before] / lat[after]
+        lines.append(f"{before + ' -> ' + after:<44}"
+                     f"{measured:>9.2f}x{target:>7.2f}x")
+        assert abs(measured - target) <= tol, (
+            f"{before}->{after}: {measured:.2f} vs paper ~{target:.2f}")
+    lines.append("")
+    lines.append("absolute simulated latencies [us]: "
+                 + "  ".join(f"{s}={v:.0f}" for s, v in lat.items()))
+    write_report(results_dir, "sec4_stepwise", "\n".join(lines))
+
+    benchmark.pedantic(
+        measure_collective, args=("allreduce", "lightweight_balanced", 552),
+        rounds=1, iterations=1)

@@ -1,0 +1,53 @@
+#!/usr/bin/env python
+"""Explore what-if chips: custom mesh sizes, clock presets, a fixed erratum.
+
+The hardware model is fully parameterized, so the library doubles as a
+design-space exploration tool: this example sweeps three hypothetical
+SCC variants and reports how the optimized Allreduce responds.
+
+Run:  python examples/custom_chip.py
+"""
+
+import numpy as np
+
+from repro.core import make_communicator
+from repro.hw import Machine, SCCConfig, config_for_preset
+
+
+def allreduce_latency(config: SCCConfig, stack: str = "mpb",
+                      n: int = 552) -> float:
+    machine = Machine(config)
+    comm = make_communicator(machine, stack)
+    rng = np.random.default_rng(7)
+    inputs = [rng.normal(size=n) for _ in range(machine.num_cores)]
+
+    def program(env):
+        yield from comm.allreduce(env, inputs[env.rank])
+
+    return machine.run_spmd(program).elapsed_us
+
+
+def main() -> None:
+    chips = {
+        "SCC (standard preset)": SCCConfig(),
+        "SCC, erratum fixed": SCCConfig(erratum_enabled=False),
+        "SCC @ 800 MHz cores": config_for_preset("800_800_800"),
+        "half-SCC (3x4 tiles, 24 cores)": SCCConfig(mesh_cols=3),
+        "double-SCC (12x4 tiles, 96 cores)": SCCConfig(mesh_cols=12),
+    }
+    print(f"{'chip':<36}{'cores':>6}{'diameter':>9}{'allreduce(552)':>16}")
+    for name, cfg in chips.items():
+        machine = Machine(cfg)
+        latency = allreduce_latency(cfg)
+        print(f"{name:<36}{cfg.num_cores:>6}"
+              f"{machine.topology.max_hops():>7} h"
+              f"{latency:>13.1f} us")
+    print()
+    print("Notes: more cores = more ring rounds (latency grows ~linearly);")
+    print("fixing the arbiter erratum speeds up every local MPB access;")
+    print("faster cores shrink the software-overhead share the paper's")
+    print("lightweight primitives target.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,102 @@
+#!/usr/bin/env python
+"""Build a custom protocol from the gory RCCE interface.
+
+The paper's optimization D exists because the "non-gory" RCCE interface
+hides the MPBs behind send/recv; the gory interface (RCCE_malloc,
+RCCE_put/get, RCCE_flag_*) lets a protocol author place data in MPB SRAM
+directly.  This example hand-rolls a double-buffered neighbour pipeline —
+a miniature of the paper's Fig. 8 — and compares it with the equivalent
+send/recv loop.
+
+Run:  python examples/gory_protocol.py
+"""
+
+import numpy as np
+
+from repro.core import make_communicator
+from repro.hw import Machine, SCCConfig
+from repro.rcce import GoryRCCE
+
+
+ROUNDS = 12
+BLOCK = 32  # doubles per round
+
+
+def gory_pipeline(cores: int = 8) -> float:
+    """Each round, every core writes a block into its right neighbour's
+    MPB and reads the block its left neighbour placed in its own —
+    double-buffered so production of round r+1 overlaps consumption of
+    round r."""
+    machine = Machine(SCCConfig(mesh_cols=cores // 2, mesh_rows=1))
+    gory = GoryRCCE(machine)
+    bufs = [gory.malloc(BLOCK * 8) for _ in range(2)]      # double buffer
+    full = [gory.flag_alloc() for _ in range(2)]
+    free = [gory.flag_alloc() for _ in range(2)]
+
+    def program(env):
+        p = env.size
+        right = (env.rank + 1) % p
+        acc = 0.0
+        for r in range(ROUNDS):
+            h = r % 2
+            data = np.full(BLOCK, float(env.rank + r))
+            if r >= 2:  # wait until the right neighbour freed this half
+                yield from gory.wait_until(env, free[h], True)
+                yield from gory.flag_write(env, free[h], False, env.rank)
+            yield from gory.put(env, bufs[h], data, target_rank=right)
+            yield from gory.flag_write(env, full[h], True, right)
+            # Consume the block the left neighbour put into *my* MPB.
+            yield from gory.wait_until(env, full[h], True)
+            yield from gory.flag_write(env, full[h], False, env.rank)
+            raw = yield from gory.get(env, bufs[h], BLOCK * 8,
+                                      source_rank=env.rank)
+            acc += raw.view(np.float64).sum()
+            left = (env.rank - 1) % p
+            yield from gory.flag_write(env, free[h], True, left)
+        return acc
+
+    result = machine.run_spmd(program)
+    expected = sum(BLOCK * (((rank - 1) % cores) + r)
+                   for rank in range(cores) for r in range(ROUNDS))
+    assert abs(sum(result.values) - expected) < 1e-6
+    return result.elapsed_us
+
+
+def sendrecv_pipeline(cores: int = 8) -> float:
+    """The same traffic through the non-gory layer."""
+    machine = Machine(SCCConfig(mesh_cols=cores // 2, mesh_rows=1))
+    comm = make_communicator(machine, "lightweight")
+
+    def program(env):
+        p = env.size
+        right = (env.rank + 1) % p
+        left = (env.rank - 1) % p
+        acc = 0.0
+        out = np.empty(BLOCK)
+        for r in range(ROUNDS):
+            data = np.full(BLOCK, float(env.rank + r))
+            sreq = yield from comm.p2p.isend(env, data, right)
+            rreq = yield from comm.p2p.irecv(env, out, left)
+            yield from comm.p2p.wait_all(env, [sreq, rreq])
+            acc += out.sum()
+        return acc
+
+    result = machine.run_spmd(program)
+    return result.elapsed_us
+
+
+def main() -> None:
+    t_gory = gory_pipeline()
+    t_nb = sendrecv_pipeline()
+    print(f"{ROUNDS} neighbour-pipeline rounds of {BLOCK} doubles, 8 cores")
+    print(f"  gory double-buffered MPB protocol : {t_gory:8.1f} us")
+    print(f"  lightweight isend/irecv           : {t_nb:8.1f} us")
+    print(f"  hand-rolled advantage             : {t_nb / t_gory:8.2f}x")
+    print()
+    print("This is the style of win the paper's MPB-direct Allreduce")
+    print("(optimization D) generalizes — limited on real silicon by the")
+    print("local-MPB arbiter erratum.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,36 @@
+"""Grand Canonical Monte Carlo thermodynamics application (paper Section V-B).
+
+The paper's application "employs statistical mechanics, namely the Grand
+canonical Monte Carlo (GCMC) technique [14], to sample thermodynamic
+properties like the internal energy or pressure of a gas or fluid".  Its
+reference [14] is Adams' classic GCMC of a Lennard-Jones fluid; we build
+exactly that, extended with point charges so the application has the
+Fourier-space (Ewald reciprocal) long-range energy of Algorithm 2 — the
+part whose 276 complex coefficients (552 doubles) are summed with
+Allreduce after *every* Monte Carlo move and that makes the collective
+stack performance-critical (up to 60% of runtime in the long-range energy,
+up to 50% of time in ``rcce_wait_until``).
+
+Substitution note (recorded in DESIGN.md): the authors' thermodynamics
+code is not public; this monoatomic LJ+charge GCMC reproduces its
+computation/communication *pattern* — two LongEn evaluations (Allreduce of
+552 doubles) plus two ShortEn evaluations (scalar Allreduce) plus a
+position broadcast per MC cycle — with real, verifiable physics.
+"""
+
+from repro.apps.gcmc.config import GCMCConfig
+from repro.apps.gcmc.driver import gcmc_program, run_gcmc
+from repro.apps.gcmc.kvectors import build_kvectors
+from repro.apps.gcmc.observables import Observables
+from repro.apps.gcmc.particles import ParticleSystem
+from repro.apps.gcmc.serial import run_gcmc_serial
+
+__all__ = [
+    "GCMCConfig",
+    "Observables",
+    "ParticleSystem",
+    "build_kvectors",
+    "gcmc_program",
+    "run_gcmc",
+    "run_gcmc_serial",
+]

@@ -1,0 +1,86 @@
+"""Running averages of thermodynamic observables."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Observables:
+    """Accumulates per-cycle samples of the GCMC run."""
+
+    samples: int = 0
+    accepted: int = 0
+    energy_sum: float = 0.0
+    energy_sq_sum: float = 0.0
+    particles_sum: float = 0.0
+    by_action: dict = field(default_factory=dict)
+    #: Full per-cycle energy series (kept for block-averaged error bars;
+    #: GCMC production runs here are short enough that this is cheap).
+    energy_series: list = field(default_factory=list)
+
+    def record(self, energy: float, n_particles: int, action: str,
+               accepted: bool) -> None:
+        self.samples += 1
+        self.energy_sum += energy
+        self.energy_sq_sum += energy * energy
+        self.particles_sum += n_particles
+        self.energy_series.append(energy)
+        if accepted:
+            self.accepted += 1
+        stats = self.by_action.setdefault(action, {"tried": 0, "accepted": 0})
+        stats["tried"] += 1
+        if accepted:
+            stats["accepted"] += 1
+
+    def block_average(self, block_size: int) -> tuple[float, float]:
+        """(mean, standard error) of the energy via block averaging —
+        the standard MC estimator that respects serial correlation.
+        Trailing samples that do not fill a block are dropped."""
+        if block_size <= 0:
+            raise ValueError(f"block size must be positive: {block_size}")
+        nblocks = len(self.energy_series) // block_size
+        if nblocks < 1:
+            raise ValueError(
+                f"need at least one full block of {block_size} samples; "
+                f"have {len(self.energy_series)}")
+        means = [
+            sum(self.energy_series[i * block_size:(i + 1) * block_size])
+            / block_size
+            for i in range(nblocks)
+        ]
+        grand = sum(means) / nblocks
+        if nblocks == 1:
+            return grand, 0.0
+        var = sum((m - grand) ** 2 for m in means) / (nblocks - 1)
+        return grand, math.sqrt(var / nblocks)
+
+    @property
+    def mean_energy(self) -> float:
+        return self.energy_sum / self.samples if self.samples else 0.0
+
+    @property
+    def energy_variance(self) -> float:
+        if self.samples == 0:
+            return 0.0
+        mean = self.mean_energy
+        return max(0.0, self.energy_sq_sum / self.samples - mean * mean)
+
+    @property
+    def mean_particles(self) -> float:
+        return self.particles_sum / self.samples if self.samples else 0.0
+
+    @property
+    def acceptance_ratio(self) -> float:
+        return self.accepted / self.samples if self.samples else 0.0
+
+    def summary(self) -> dict:
+        return {
+            "samples": self.samples,
+            "mean_energy": self.mean_energy,
+            "energy_variance": self.energy_variance,
+            "mean_particles": self.mean_particles,
+            "acceptance_ratio": self.acceptance_ratio,
+            "by_action": {k: dict(v) for k, v in self.by_action.items()},
+        }

@@ -1,0 +1,166 @@
+"""Serial reference implementation of the GCMC loop.
+
+Runs the identical algorithm and RNG streams as the SPMD driver, but with
+plain function calls instead of simulated communication (reductions are
+ordered per-rank sums, matching the distributed decomposition).  Used by
+the test suite to verify that the distributed run reproduces the same
+trajectory and energies, and by examples as a quick sanity baseline.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps.gcmc.config import GCMCConfig
+from repro.apps.gcmc.driver import GCMCResult
+from repro.apps.gcmc.kvectors import build_kvectors
+from repro.apps.gcmc.longrange import local_structure_factor, reciprocal_energy
+from repro.apps.gcmc.moves import (
+    Action,
+    Proposal,
+    acceptance_probability,
+    choose_action,
+    choose_slot,
+    propose_insertion,
+    propose_translation,
+)
+from repro.apps.gcmc.observables import Observables
+from repro.apps.gcmc.particles import ParticleSystem
+from repro.apps.gcmc.shortrange import (
+    insertion_energy_local,
+    pair_energy_with_set,
+    self_energy,
+    short_energy_local,
+)
+
+
+def _short_en(system: ParticleSystem, nranks: int, slot=None, pos=None,
+              charge=None) -> float:
+    total = 0.0
+    for rank in range(nranks):
+        if slot is not None:
+            e, _ = short_energy_local(system, slot, rank, nranks)
+        else:
+            e, _ = insertion_energy_local(system, pos, charge, rank, nranks)
+        total += e
+    return total
+
+
+def _long_en(system: ParticleSystem, kvecs, coeff, nranks: int) -> float:
+    f_total = np.zeros(len(kvecs), dtype=np.complex128)
+    for rank in range(nranks):
+        f_local, _ = local_structure_factor(system, kvecs, rank, nranks)
+        f_total = f_total + f_local
+    return reciprocal_energy(f_total, coeff, system.config.volume)
+
+
+def full_energy(system: ParticleSystem, kvecs, coeff, nranks: int) -> float:
+    """Total energy of a configuration, computed from scratch."""
+    idx = system.active_indices()
+    e_short = 0.0
+    e_self = 0.0
+    for rank in range(nranks):
+        local = system.local_indices(rank, nranks)
+        for i in local:
+            others = idx[idx > i]
+            e, _ = pair_energy_with_set(system, system.positions[i],
+                                        float(system.charges[i]), others)
+            e_short += e
+            e_self += self_energy(float(system.charges[i]),
+                                  system.config.alpha)
+    return e_short + e_self + _long_en(system, kvecs, coeff, nranks)
+
+
+def run_gcmc_serial(cfg: GCMCConfig, cycles: int, nranks: int = 48,
+                    return_system: bool = False):
+    """Run ``cycles`` MC cycles serially, mimicking an ``nranks`` SPMD run.
+
+    Returns a :class:`~repro.apps.gcmc.driver.GCMCResult` (with zero
+    simulated time), or ``(result, system)`` when ``return_system=True``.
+    """
+    system = ParticleSystem(cfg)
+    kvecs, coeff = build_kvectors(cfg.n_kvectors, cfg.box, cfg.alpha)
+    shared_rng = np.random.default_rng(cfg.seed)
+    owner_rngs = [
+        np.random.default_rng(
+            np.random.SeedSequence(entropy=cfg.seed, spawn_key=(rank + 1,)))
+        for rank in range(nranks)
+    ]
+    obs = Observables()
+    en_old = full_energy(system, kvecs, coeff, nranks)
+
+    for _cycle in range(cycles):
+        active = system.active_indices()
+        action = choose_action(cfg, shared_rng, len(active))
+        n_before = len(active)
+
+        # Algorithm 1 line 5: subtract the moving particle's contributions.
+        if action == Action.INSERT:
+            slot = system.first_free_slot()
+            removed_short = 0.0
+            removed_self = 0.0
+        else:
+            slot = choose_slot(shared_rng, active)
+            removed_short = _short_en(system, nranks, slot=slot)
+            removed_self = (self_energy(float(system.charges[slot]),
+                                        cfg.alpha)
+                            if action == Action.DELETE else 0.0)
+        removed_long = _long_en(system, kvecs, coeff, nranks)
+        en_new = en_old - removed_short - removed_self - removed_long
+
+        # Lines 6-7: save config, owner proposes, move applied.
+        snap = system.snapshot()
+        owner = system.owner_of(slot, nranks)
+        owner_rng = owner_rngs[owner]
+        if action == Action.TRANSLATE:
+            proposal = Proposal(action, slot,
+                                propose_translation(
+                                    cfg, owner_rng, system.positions[slot]),
+                                0.0)
+        elif action == Action.INSERT:
+            pos, charge = propose_insertion(cfg, owner_rng,
+                                            system.net_charge())
+            proposal = Proposal(action, slot, pos, charge)
+        else:
+            proposal = Proposal(action, slot, np.zeros(3), 0.0)
+        # Round-trip through the wire format, exactly like the SPMD run.
+        proposal = Proposal.unpack(proposal.pack())
+
+        if proposal.action == Action.TRANSLATE:
+            system.move_particle(proposal.slot, proposal.position)
+        elif proposal.action == Action.INSERT:
+            system.insert_particle(proposal.slot, proposal.position,
+                                   proposal.charge)
+        else:
+            system.delete_particle(proposal.slot)
+
+        # Line 8: add the new contributions.
+        if proposal.action == Action.DELETE:
+            added_short = 0.0
+            added_self = 0.0
+        else:
+            added_short = _short_en(system, nranks, slot=proposal.slot)
+            added_self = (self_energy(proposal.charge, cfg.alpha)
+                          if proposal.action == Action.INSERT else 0.0)
+        added_long = _long_en(system, kvecs, coeff, nranks)
+        en_new = en_new + added_short + added_self + added_long
+
+        # Lines 9-12: accept/reject.
+        prob = acceptance_probability(cfg, proposal.action, n_before,
+                                      en_new - en_old)
+        accepted = shared_rng.random() < prob
+        if accepted:
+            en_old = en_new
+        else:
+            system.restore(snap)
+        obs.record(en_old, system.n_active, proposal.action.name, accepted)
+
+    result = GCMCResult(
+        observables=obs,
+        final_energy=en_old,
+        final_particles=system.n_active,
+        cycles=cycles,
+    )
+    if return_system:
+        return result, system
+    return result

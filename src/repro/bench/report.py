@@ -1,0 +1,86 @@
+"""Series statistics and table rendering for the benchmark reports."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+
+@dataclass(frozen=True)
+class Series:
+    """One latency curve: (sizes, microseconds), labeled."""
+
+    label: str
+    sizes: tuple[int, ...]
+    values_us: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.sizes) != len(self.values_us):
+            raise ValueError("sizes and values must align")
+
+    @classmethod
+    def from_lists(cls, label: str, sizes: Sequence[int],
+                   values: Sequence[float]) -> "Series":
+        return cls(label, tuple(sizes), tuple(values))
+
+    def mean(self) -> float:
+        return sum(self.values_us) / len(self.values_us)
+
+    def at(self, size: int) -> float:
+        try:
+            return self.values_us[self.sizes.index(size)]
+        except ValueError:
+            raise KeyError(f"size {size} not in series {self.label!r}") from None
+
+
+def speedup_series(baseline: Series, other: Series) -> list[float]:
+    """Pointwise baseline/other latency ratio (>1 = other is faster)."""
+    if baseline.sizes != other.sizes:
+        raise ValueError("series cover different size grids")
+    return [b / o for b, o in zip(baseline.values_us, other.values_us)]
+
+
+def mean_speedup(baseline: Series, other: Series) -> float:
+    ratios = speedup_series(baseline, other)
+    return sum(ratios) / len(ratios)
+
+
+def max_speedup(baseline: Series, other: Series) -> tuple[float, int]:
+    """(best ratio, size at which it occurs)."""
+    ratios = speedup_series(baseline, other)
+    best = max(range(len(ratios)), key=ratios.__getitem__)
+    return ratios[best], baseline.sizes[best]
+
+
+def format_series_table(series: Sequence[Series], *,
+                        value_header: str = "latency [us]",
+                        float_fmt: str = "{:10.1f}") -> str:
+    """Render curves side by side, one row per vector size — the textual
+    equivalent of one Fig. 9 panel."""
+    if not series:
+        return "(no series)"
+    sizes = series[0].sizes
+    for s in series:
+        if s.sizes != sizes:
+            raise ValueError("series cover different size grids")
+    width = max(10, *(len(s.label) for s in series))
+    header = f"{'size':>6}  " + "  ".join(f"{s.label:>{width}}" for s in series)
+    rule = "-" * len(header)
+    lines = [f"# {value_header}", header, rule]
+    for i, n in enumerate(sizes):
+        row = f"{n:>6}  " + "  ".join(
+            float_fmt.format(s.values_us[i]).rjust(width) for s in series)
+        lines.append(row)
+    return "\n".join(lines)
+
+
+def format_speedup_summary(baseline: Series,
+                           others: Sequence[Series]) -> str:
+    """One line per stack: mean and best speedup against the baseline."""
+    lines = [f"speedups vs {baseline.label!r}:"]
+    for s in others:
+        mean = mean_speedup(baseline, s)
+        best, at = max_speedup(baseline, s)
+        lines.append(f"  {s.label:<24s} mean {mean:5.2f}x   "
+                     f"max {best:5.2f}x @ {at}")
+    return "\n".join(lines)

@@ -1,0 +1,143 @@
+"""Measuring simulated collective latencies.
+
+The paper repeats each operation 10000x on silicon and averages; the
+simulator is deterministic, so a single repetition gives the exact
+latency.  (A ``repeats`` knob exists anyway: with warm-up repetitions the
+measured operation runs in the pipeline steady state, which matters for
+the tightly coupled ring algorithms.)
+
+Environment knobs honoured by the benchmark suite:
+
+* ``REPRO_BENCH_SIZES`` — ``start:stop:step`` for the Fig. 9 sweeps
+  (default ``500:701:7``; the paper measures every size in 500..700 — use
+  ``500:701:1`` to regenerate at full resolution).
+* ``REPRO_BENCH_CORES`` — ranks per measurement (default 48, the SCC).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from repro.core.comm import Communicator
+from repro.core.ops import SUM, ReduceOp
+from repro.core.registry import make_communicator
+from repro.hw.config import SCCConfig
+from repro.hw.machine import Machine
+from repro.sim.clock import ps_to_us
+
+#: Collective kinds the runner knows how to drive.
+KINDS = ("allreduce", "reduce", "reduce_scatter", "allgather", "alltoall",
+         "bcast", "barrier")
+
+
+def default_sizes() -> list[int]:
+    """The Fig. 9 sweep sizes, honoring ``REPRO_BENCH_SIZES``."""
+    spec = os.environ.get("REPRO_BENCH_SIZES", "500:701:7")
+    start, stop, step = (int(x) for x in spec.split(":"))
+    return list(range(start, stop, step))
+
+
+def default_cores() -> int:
+    return int(os.environ.get("REPRO_BENCH_CORES", "48"))
+
+
+def _program_for(kind: str, comm: Communicator, inputs: list[np.ndarray],
+                 op: ReduceOp):
+    """Build the per-rank SPMD program measuring one collective call."""
+
+    def program(env):
+        # Align all ranks, then time the operation on rank 0 like the
+        # paper does ("the displayed latencies were measured on core 0").
+        yield from comm.barrier(env)
+        start = env.now
+        if kind == "allreduce":
+            yield from comm.allreduce(env, inputs[env.rank], op)
+        elif kind == "reduce":
+            yield from comm.reduce(env, inputs[env.rank], op, 0)
+        elif kind == "reduce_scatter":
+            yield from comm.reduce_scatter(env, inputs[env.rank], op)
+        elif kind == "allgather":
+            yield from comm.allgather(env, inputs[env.rank])
+        elif kind == "alltoall":
+            p = env.size
+            matrix = np.tile(inputs[env.rank], (p, 1))
+            yield from comm.alltoall(env, matrix)
+        elif kind == "bcast":
+            buf = (inputs[0].copy() if env.rank == 0
+                   else np.empty_like(inputs[0]))
+            yield from comm.bcast(env, buf, 0)
+        elif kind == "barrier":
+            yield from comm.barrier(env)
+        else:
+            raise KeyError(f"unknown collective kind {kind!r}")
+        return env.now - start
+
+    return program
+
+
+def measure_collective(kind: str, stack: str, size: int, *,
+                       cores: Optional[int] = None,
+                       config: Optional[SCCConfig] = None,
+                       op: ReduceOp = SUM,
+                       rank_order: Optional[Sequence[int]] = None,
+                       seed: int = 20120901) -> float:
+    """Simulated latency (microseconds, rank-0 view) of one collective.
+
+    ``size`` is the per-rank vector length in doubles (the paper's x axis).
+    ``rank_order`` maps ranks to physical cores (default: identity, i.e.
+    RCCE's natural core numbering); pass
+    ``machine.topology.snake_ring_order()`` for the topology-aware mapping
+    ablation.
+    """
+    cores = cores if cores is not None else default_cores()
+    config = config if config is not None else SCCConfig()
+    machine = Machine(config)
+    if cores > machine.num_cores:
+        raise ValueError(f"requested {cores} cores; machine has "
+                         f"{machine.num_cores}")
+    comm = make_communicator(machine, stack)
+    rng = np.random.default_rng(seed)
+    inputs = [rng.normal(size=size) for _ in range(cores)]
+    program = _program_for(kind, comm, inputs, op)
+    ranks = list(rank_order) if rank_order is not None else list(range(cores))
+    result = machine.run_spmd(program, ranks=ranks)
+    return ps_to_us(result.values[0])
+
+
+@dataclass
+class CollectiveBench:
+    """A configured sweep: one collective, several stacks, many sizes."""
+
+    kind: str
+    stacks: Sequence[str]
+    sizes: Sequence[int] = field(default_factory=default_sizes)
+    cores: int = field(default_factory=default_cores)
+    config_factory: Callable[[], SCCConfig] = SCCConfig
+    op: ReduceOp = SUM
+
+    def run(self) -> dict[str, list[float]]:
+        """latencies[stack] = [us per size]."""
+        out: dict[str, list[float]] = {}
+        for stack in self.stacks:
+            out[stack] = [
+                measure_collective(self.kind, stack, n, cores=self.cores,
+                                   config=self.config_factory(), op=self.op)
+                for n in self.sizes
+            ]
+        return out
+
+
+def sweep(kind: str, stacks: Sequence[str],
+          sizes: Optional[Sequence[int]] = None,
+          cores: Optional[int] = None) -> dict[str, list[float]]:
+    """Convenience wrapper around :class:`CollectiveBench`."""
+    bench = CollectiveBench(
+        kind, stacks,
+        sizes=list(sizes) if sizes is not None else default_sizes(),
+        cores=cores if cores is not None else default_cores(),
+    )
+    return bench.run()

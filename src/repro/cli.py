@@ -1,0 +1,205 @@
+"""Command-line interface: regenerate the paper's results from the shell.
+
+Examples::
+
+    python -m repro info
+    python -m repro fig6
+    python -m repro fig9 9f --sizes 548:581:1
+    python -m repro fig10 --cycles 4
+    python -m repro stepwise
+    python -m repro sweep allreduce --stacks blocking mpb --sizes 552:577:4
+    python -m repro gcmc --stack mpb --cycles 5
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.apps.gcmc.config import GCMCConfig
+from repro.apps.gcmc.driver import run_gcmc
+from repro.bench.figures import (
+    FIG9_PANELS,
+    FIG10_STACKS,
+    fig6,
+    fig9,
+    fig10,
+)
+from repro.bench.report import Series, format_series_table
+from repro.bench.runner import measure_collective, sweep
+from repro.core.registry import STACKS, make_communicator
+from repro.hw.config import CLOCK_PRESETS, SCCConfig
+from repro.hw.machine import Machine
+
+
+def _parse_sizes(spec: str) -> list[int]:
+    if ":" in spec:
+        start, stop, step = (int(x) for x in spec.split(":"))
+        return list(range(start, stop, step))
+    return [int(x) for x in spec.split(",")]
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    cfg = SCCConfig()
+    machine = Machine(cfg)
+    topo = machine.topology
+    print("Simulated Intel SCC (standard preset)")
+    print(f"  cores            : {cfg.num_cores} "
+          f"({cfg.mesh_cols}x{cfg.mesh_rows} tiles x "
+          f"{cfg.cores_per_tile} cores)")
+    print(f"  clocks           : core {cfg.core_freq_hz / 1e6:.0f} MHz, "
+          f"mesh {cfg.mesh_freq_hz / 1e6:.0f} MHz, "
+          f"DRAM {cfg.dram_freq_hz / 1e6:.0f} MHz")
+    print(f"  MPB              : {cfg.mpb_bytes_per_core} B/core "
+          f"({cfg.mpb_flag_bytes} B flags)")
+    print(f"  L1 line          : {cfg.l1_line_bytes} B "
+          f"({cfg.doubles_per_line} doubles)")
+    print(f"  mesh diameter    : {topo.max_hops()} hops "
+          f"(mean {topo.average_hops():.2f})")
+    print(f"  arbiter erratum  : "
+          f"{'modeled (workaround active)' if cfg.erratum_enabled else 'fixed'}")
+    print(f"  stacks           : {', '.join(STACKS)}")
+    print(f"  clock presets    : {', '.join(sorted(CLOCK_PRESETS))}")
+    return 0
+
+
+def _cmd_fig6(args: argparse.Namespace) -> int:
+    print(fig6(p=args.cores))
+    return 0
+
+
+def _cmd_fig9(args: argparse.Namespace) -> int:
+    sizes = _parse_sizes(args.sizes) if args.sizes else None
+    result = fig9(args.panel, sizes=sizes, cores=args.cores)
+    print(result.render())
+    return 0
+
+
+def _cmd_fig10(args: argparse.Namespace) -> int:
+    stacks = tuple(args.stacks) if args.stacks else FIG10_STACKS
+    result = fig10(cycles=args.cycles, stacks=stacks)
+    print(result.render())
+    return 0
+
+
+def _cmd_stepwise(args: argparse.Namespace) -> int:
+    n = args.size
+    print(f"Section IV step-wise Allreduce speedups (n = {n}):")
+    lat = {}
+    for stack in ("blocking", "ircce", "lightweight",
+                  "lightweight_balanced", "mpb"):
+        lat[stack] = measure_collective("allreduce", stack, n,
+                                        cores=args.cores)
+    chain = list(lat)
+    for before, after in zip(chain, chain[1:]):
+        print(f"  {before:>22} -> {after:<22} "
+              f"{lat[before] / lat[after]:5.2f}x")
+    print(f"  {'blocking':>22} -> {'mpb':<22} "
+          f"{lat['blocking'] / lat['mpb']:5.2f}x (combined)")
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    sizes = _parse_sizes(args.sizes)
+    data = sweep(args.kind, args.stacks, sizes, cores=args.cores)
+    series = [Series.from_lists(stack, sizes, data[stack])
+              for stack in args.stacks]
+    print(format_series_table(series))
+    return 0
+
+
+def _cmd_gcmc(args: argparse.Namespace) -> int:
+    cfg = GCMCConfig(initial_particles=args.particles,
+                     capacity=max(2 * args.particles, args.particles + 16))
+    machine = Machine(SCCConfig())
+    comm = make_communicator(machine, args.stack)
+    result = run_gcmc(machine, comm, cfg, args.cycles)
+    obs = result.observables
+    print(f"GCMC on 48 simulated cores, stack {args.stack!r}:")
+    print(f"  cycles            : {result.cycles}")
+    print(f"  final energy      : {result.final_energy:.4f}")
+    print(f"  final particles   : {result.final_particles}")
+    print(f"  mean energy       : {obs.mean_energy:.4f}")
+    print(f"  acceptance ratio  : {obs.acceptance_ratio:.2f}")
+    print(f"  simulated runtime : {result.elapsed_us / 1000:.1f} ms")
+    print(f"  wait fraction     : {result.wait_fraction():.2f}")
+    return 0
+
+
+def _cmd_paper(args: argparse.Namespace) -> int:
+    """One-shot reproduction digest: Fig. 6, the Section-IV chain, and a
+    compact Fig. 10 (full Fig. 9 panels via `fig9`, they take minutes)."""
+    print(fig6())
+    print()
+    _cmd_stepwise(argparse.Namespace(size=552, cores=48))
+    print()
+    result = fig10(cycles=args.cycles)
+    print(result.render())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Low-Latency Collectives for the "
+                    "Intel SCC' (CLUSTER 2012)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("info", help="describe the simulated chip"
+                   ).set_defaults(func=_cmd_info)
+
+    p6 = sub.add_parser("fig6", help="block-size table (Fig. 6)")
+    p6.add_argument("--cores", type=int, default=48)
+    p6.set_defaults(func=_cmd_fig6)
+
+    p9 = sub.add_parser("fig9", help="latency panel (Fig. 9a-f)")
+    p9.add_argument("panel", choices=sorted(FIG9_PANELS))
+    p9.add_argument("--sizes", help="start:stop:step or comma list")
+    p9.add_argument("--cores", type=int, default=None)
+    p9.set_defaults(func=_cmd_fig9)
+
+    p10 = sub.add_parser("fig10", help="application comparison (Fig. 10)")
+    p10.add_argument("--cycles", type=int, default=None)
+    p10.add_argument("--stacks", nargs="+", choices=list(STACKS))
+    p10.set_defaults(func=_cmd_fig10)
+
+    pstep = sub.add_parser("stepwise",
+                           help="Section IV step-wise speedups")
+    pstep.add_argument("--size", type=int, default=552)
+    pstep.add_argument("--cores", type=int, default=48)
+    pstep.set_defaults(func=_cmd_stepwise)
+
+    psweep = sub.add_parser("sweep", help="custom latency sweep")
+    psweep.add_argument("kind", choices=["allreduce", "reduce",
+                                         "reduce_scatter", "allgather",
+                                         "alltoall", "bcast", "barrier"])
+    psweep.add_argument("--stacks", nargs="+", required=True,
+                        choices=list(STACKS))
+    psweep.add_argument("--sizes", required=True,
+                        help="start:stop:step or comma list")
+    psweep.add_argument("--cores", type=int, default=None)
+    psweep.set_defaults(func=_cmd_sweep)
+
+    pp = sub.add_parser("paper",
+                        help="one-shot digest: Fig. 6 + Section IV + Fig. 10")
+    pp.add_argument("--cycles", type=int, default=4)
+    pp.set_defaults(func=_cmd_paper)
+
+    pg = sub.add_parser("gcmc", help="run the GCMC application")
+    pg.add_argument("--stack", default="mpb", choices=list(STACKS))
+    pg.add_argument("--cycles", type=int, default=4)
+    pg.add_argument("--particles", type=int, default=240)
+    pg.set_defaults(func=_cmd_gcmc)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,48 @@
+"""The paper's primary contribution: optimized collective operations.
+
+Public surface:
+
+* :func:`~repro.core.registry.make_communicator` + the stack names of the
+  paper's figures (``blocking``, ``ircce``, ``lightweight``,
+  ``lightweight_balanced``, ``mpb``, ``rckmpi``),
+* :class:`~repro.core.comm.Communicator` — the MPI-like collective API,
+* :mod:`~repro.core.blocks` — standard vs balanced block partitioning
+  (optimization C, Fig. 6),
+* :mod:`~repro.core.ops` — reduction operators,
+* the individual algorithms (ring ReduceScatter/Allgather, pairwise
+  Alltoall, binomial trees, scatter-allgather Broadcast, MPB-direct
+  Allreduce) for direct use and ablation.
+"""
+
+from repro.core.blocks import (
+    Partition,
+    balanced_partition,
+    fig6_table,
+    partitioner_by_name,
+    standard_partition,
+)
+from repro.core.comm import Communicator
+from repro.core.mpb_allreduce import MPBAllreduceError, mpb_allreduce
+from repro.core.ops import MAX, MIN, OPS, PROD, SUM, ReduceOp, op_by_name
+from repro.core.registry import NON_MPB_STACKS, STACKS, make_communicator
+
+__all__ = [
+    "Communicator",
+    "MAX",
+    "MIN",
+    "MPBAllreduceError",
+    "NON_MPB_STACKS",
+    "OPS",
+    "PROD",
+    "Partition",
+    "ReduceOp",
+    "STACKS",
+    "SUM",
+    "balanced_partition",
+    "fig6_table",
+    "make_communicator",
+    "mpb_allreduce",
+    "op_by_name",
+    "partitioner_by_name",
+    "standard_partition",
+]

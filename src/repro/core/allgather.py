@@ -1,0 +1,73 @@
+"""Allgather: ring algorithms, for full vectors and for partition blocks.
+
+Two entry points:
+
+* :func:`ring_allgather` — the standalone collective of Fig. 9a: every
+  rank contributes an ``n``-element vector, every rank ends up with the
+  ``(p, n)`` matrix of all contributions.
+* :func:`ring_allgather_blocks` — the second phase of Allreduce (and the
+  gather phase of the long Broadcast): each rank starts holding one block
+  of a partitioned vector and the ring circulates the blocks until every
+  rank holds the complete vector.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Generator
+
+import numpy as np
+
+from repro.core.blocks import Partition
+from repro.core.exchange import full_exchange, ring_send_first
+from repro.hw.machine import CoreEnv
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.comm import Communicator
+
+
+def ring_allgather(comm: "Communicator", env: CoreEnv,
+                   sendbuf: np.ndarray) -> Generator:
+    """Standalone Allgather; returns a ``(p, n)`` array (row r = rank r)."""
+    p, me = env.size, env.rank
+    n = sendbuf.size
+    out = np.empty((p, n), dtype=sendbuf.dtype)
+    out[me] = sendbuf
+    if p == 1:
+        return out
+    right = (me + 1) % p
+    left = (me - 1) % p
+    send_first = ring_send_first(env)
+    for r in range(p - 1):
+        send_row = (me - r) % p
+        recv_row = (me - 1 - r) % p
+        yield from full_exchange(comm, env, out[send_row], right,
+                                 out[recv_row], left, send_first)
+    return out
+
+
+def ring_allgather_blocks(comm: "Communicator", env: CoreEnv,
+                          vector: np.ndarray, part: Partition,
+                          shift: int = 0) -> Generator:
+    """Circulate partition blocks until ``vector`` is complete everywhere.
+
+    On entry rank ``me``'s block ``(me - shift) % p`` slice of ``vector``
+    must hold valid data (the convention produced by
+    :func:`~repro.core.reduce_scatter.ring_reduce_scatter` with the same
+    ``shift``).  ``vector`` is filled in place and returned.
+    """
+    p, me = env.size, env.rank
+    if p == 1:
+        return vector
+    right = (me + 1) % p
+    left = (me - 1) % p
+    vme = (me - shift) % p
+    send_first = ring_send_first(env)
+    for r in range(p - 1):
+        send_block = (vme - r) % p
+        recv_block = (vme - 1 - r) % p
+        send_data = vector[part.slice_of(send_block)]
+        recv_buf = np.empty(part.size(recv_block), dtype=vector.dtype)
+        yield from full_exchange(comm, env, send_data, right, recv_buf,
+                                 left, send_first)
+        vector[part.slice_of(recv_block)] = recv_buf
+    return vector

@@ -1,0 +1,47 @@
+"""Allreduce: the paper's running example.
+
+For long vectors RCCE_comm implements Allreduce as a ring ReduceScatter
+followed by a ring Allgather of the reduced blocks (Section IV-A); short
+vectors use binomial Reduce + Broadcast.  All of optimizations A (relaxed
+synchronization), B (lightweight primitives) and C (balanced blocks) act
+on the long-vector path; optimization D replaces it entirely with the
+MPB-direct algorithm of :mod:`repro.core.mpb_allreduce`.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Generator
+
+import numpy as np
+
+from repro.core.allgather import ring_allgather_blocks
+from repro.core.bcast import binomial_bcast
+from repro.core.ops import ReduceOp
+from repro.core.reduce import binomial_reduce
+from repro.core.reduce_scatter import ring_reduce_scatter
+from repro.hw.machine import CoreEnv
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.comm import Communicator
+
+
+def rsag_allreduce(comm: "Communicator", env: CoreEnv, sendbuf: np.ndarray,
+                   op: ReduceOp) -> Generator:
+    """ReduceScatter + Allgather (the long-vector path)."""
+    p = env.size
+    if p == 1:
+        return sendbuf.copy()
+    my_block, part = yield from ring_reduce_scatter(comm, env, sendbuf, op)
+    result = np.empty_like(sendbuf)
+    result[part.slice_of(env.rank)] = my_block
+    yield from ring_allgather_blocks(comm, env, result, part)
+    return result
+
+
+def reduce_bcast_allreduce(comm: "Communicator", env: CoreEnv,
+                           sendbuf: np.ndarray, op: ReduceOp) -> Generator:
+    """Binomial Reduce to rank 0 + binomial Broadcast (short vectors)."""
+    reduced = yield from binomial_reduce(comm, env, sendbuf, op, root=0)
+    buf = reduced if env.rank == 0 else np.empty_like(sendbuf)
+    yield from binomial_bcast(comm, env, buf, root=0)
+    return buf

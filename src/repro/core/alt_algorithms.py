@@ -1,0 +1,196 @@
+"""Alternative collective algorithms (the RCKMPI/MPICH repertoire).
+
+RCKMPI "contains sophisticated algorithms for collective operations.
+These provide a set of routines for different message sizes and pick the
+one that performs best at runtime" (Section III).  Beyond the ring and
+binomial algorithms the main library uses, this module provides the other
+classic shapes so the algorithm-selection ablation can compare them on
+the simulated chip:
+
+* :func:`recursive_doubling_allreduce` — log2(p) rounds of full-vector
+  exchanges; latency-optimal for short vectors, bandwidth-hungry for long
+  ones (the crossover against ReduceScatter+Allgather is a classic MPI
+  tuning fact the ablation reproduces).
+* :func:`recursive_halving_allreduce` — Rabenseifner's algorithm:
+  recursive-halving reduce-scatter + recursive-doubling allgather.
+* :func:`bruck_allgather` — ceil(log2 p) rounds with doubling block
+  counts (plus the final local rotation Bruck pays for starting at every
+  rank's own block).
+
+All are SPMD generators over a :class:`~repro.core.comm.Communicator` and
+work for arbitrary (non-power-of-two) rank counts via the standard
+fold-in/fold-out of the excess ranks.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Generator
+
+import numpy as np
+
+from repro.core.exchange import full_exchange, pairwise_send_first
+from repro.core.ops import ReduceOp
+from repro.hw.machine import CoreEnv
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.comm import Communicator
+
+
+def _largest_pow2_below(p: int) -> int:
+    pow2 = 1
+    while pow2 * 2 <= p:
+        pow2 *= 2
+    return pow2
+
+
+def _fold_in(comm: "Communicator", env: CoreEnv, acc: np.ndarray,
+             op: ReduceOp, pow2: int) -> Generator:
+    """Excess ranks (>= pow2) send their vector to rank - pow2 and go
+    passive; returns (active, acc)."""
+    p, me = env.size, env.rank
+    rest = p - pow2
+    if me >= pow2:
+        yield from comm.send(env, acc, me - pow2)
+        return False, acc
+    if me < rest:
+        tmp = np.empty_like(acc)
+        yield from comm.recv(env, tmp, me + pow2)
+        yield from env.consume(env.latency.reduce_doubles(acc.size),
+                               "compute")
+        acc = op(acc, tmp)
+    return True, acc
+
+
+def _fold_out(comm: "Communicator", env: CoreEnv, acc: np.ndarray,
+              pow2: int) -> Generator:
+    """Mirror of :func:`_fold_in`: actives return the result to the
+    passive ranks."""
+    p, me = env.size, env.rank
+    rest = p - pow2
+    if me >= pow2:
+        yield from comm.recv(env, acc, me - pow2)
+    elif me < rest:
+        yield from comm.send(env, acc, me + pow2)
+    return acc
+
+
+def recursive_doubling_allreduce(comm: "Communicator", env: CoreEnv,
+                                 sendbuf: np.ndarray,
+                                 op: ReduceOp) -> Generator:
+    """log2(p) full-vector exchange rounds (plus non-pow2 folding)."""
+    p, me = env.size, env.rank
+    acc = sendbuf.copy()
+    if p == 1:
+        return acc
+    pow2 = _largest_pow2_below(p)
+    active, acc = yield from _fold_in(comm, env, acc, op, pow2)
+    if active:
+        mask = 1
+        tmp = np.empty_like(acc)
+        while mask < pow2:
+            partner = me ^ mask
+            yield from full_exchange(comm, env, acc, partner, tmp, partner,
+                                     pairwise_send_first(env, partner))
+            yield from env.consume(env.latency.reduce_doubles(acc.size),
+                                   "compute")
+            acc = op(acc, tmp)
+            mask <<= 1
+    acc = yield from _fold_out(comm, env, acc, pow2)
+    return acc
+
+
+def recursive_halving_allreduce(comm: "Communicator", env: CoreEnv,
+                                sendbuf: np.ndarray,
+                                op: ReduceOp) -> Generator:
+    """Rabenseifner: recursive-halving reduce-scatter, then
+    recursive-doubling allgather, on the pow2 active set."""
+    p, me = env.size, env.rank
+    acc = sendbuf.copy()
+    n = acc.size
+    if p == 1:
+        return acc
+    pow2 = _largest_pow2_below(p)
+    active, acc = yield from _fold_in(comm, env, acc, op, pow2)
+    if active:
+        # Reduce-scatter by recursive halving: after each round I keep
+        # responsibility for half my previous range.  The stack of
+        # enclosing ranges drives the allgather phase (sibling halves can
+        # be unequal when n is not divisible by pow2).
+        lo, hi = 0, n
+        levels: list[tuple[int, int]] = []
+        mask = pow2 >> 1
+        while mask >= 1:
+            partner = me ^ mask
+            levels.append((lo, hi))
+            mid = lo + (hi - lo) // 2
+            if me & mask:
+                keep = (mid, hi)
+                give = (lo, mid)
+            else:
+                keep = (lo, mid)
+                give = (mid, hi)
+            recv_buf = np.empty(keep[1] - keep[0], dtype=acc.dtype)
+            yield from full_exchange(
+                comm, env, acc[give[0]:give[1]], partner, recv_buf, partner,
+                pairwise_send_first(env, partner))
+            nels = recv_buf.size
+            if nels:
+                yield from env.consume(env.latency.reduce_doubles(nels),
+                                       "compute")
+                acc[keep[0]:keep[1]] = op(acc[keep[0]:keep[1]], recv_buf)
+            lo, hi = keep
+            mask >>= 1
+        # Allgather by recursive doubling: unwind the range stack; each
+        # round swaps my range for the sibling half of its enclosure.
+        mask = 1
+        for elo, ehi in reversed(levels):
+            partner = me ^ mask
+            mid = elo + (ehi - elo) // 2
+            if (lo, hi) == (elo, mid):
+                plo, phi = mid, ehi
+            else:
+                plo, phi = elo, mid
+            recv_buf = np.empty(phi - plo, dtype=acc.dtype)
+            yield from full_exchange(
+                comm, env, acc[lo:hi], partner, recv_buf, partner,
+                pairwise_send_first(env, partner))
+            acc[plo:phi] = recv_buf
+            lo, hi = elo, ehi
+            mask <<= 1
+    acc = yield from _fold_out(comm, env, acc, pow2)
+    return acc
+
+
+def bruck_allgather(comm: "Communicator", env: CoreEnv,
+                    sendbuf: np.ndarray) -> Generator:
+    """Bruck's allgather: ceil(log2 p) rounds, block counts doubling.
+
+    Works directly for arbitrary p.  Returns the (p, n) matrix.  The
+    final rotation (Bruck's tax for indexing blocks relative to self) is
+    charged as a private-memory copy.
+    """
+    p, me = env.size, env.rank
+    n = sendbuf.size
+    work = np.empty((p, n), dtype=sendbuf.dtype)
+    work[0] = sendbuf
+    have = 1
+    distance = 1
+    while have < p:
+        count = min(have, p - have)
+        dst = (me - distance) % p
+        src = (me + distance) % p
+        recv_buf = np.empty((count, n), dtype=sendbuf.dtype)
+        yield from full_exchange(
+            comm, env, work[:count].reshape(-1), dst,
+            recv_buf.reshape(-1), src,
+            pairwise_send_first(env, dst))
+        work[have:have + count] = recv_buf
+        have += count
+        distance <<= 1
+    # Final rotation: work[i] currently holds rank (me + i) % p's vector.
+    yield from env.consume(
+        env.latency.private_copy_bytes(work.nbytes), "copy")
+    out = np.empty_like(work)
+    for i in range(p):
+        out[(me + i) % p] = work[i]
+    return out

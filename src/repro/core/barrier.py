@@ -1,0 +1,39 @@
+"""Barrier algorithms.
+
+The blocking stack uses RCCE's master/worker flag barrier; the
+non-blocking stacks use a dissemination barrier (log2(p) rounds of
+zero-byte exchanges with stride-doubling partners), which the relaxed
+synchronization of optimization A makes deadlock-free without any call
+ordering.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING, Generator
+
+import numpy as np
+
+from repro.hw.machine import CoreEnv
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.comm import Communicator
+
+_EMPTY = np.empty(0, dtype=np.uint8)
+
+
+def dissemination_barrier(comm: "Communicator", env: CoreEnv) -> Generator:
+    """ceil(log2 p) rounds; round k synchronizes with ranks at stride 2^k."""
+    p, me = env.size, env.rank
+    if p == 1:
+        return
+    layer = comm.p2p
+    rounds = max(1, math.ceil(math.log2(p)))
+    recv_buf = np.empty(0, dtype=np.uint8)
+    for k in range(rounds):
+        stride = 1 << k
+        dst = (me + stride) % p
+        src = (me - stride) % p
+        sreq = yield from layer.isend(env, _EMPTY, dst)
+        rreq = yield from layer.irecv(env, recv_buf, src)
+        yield from layer.wait_all(env, [sreq, rreq])

@@ -1,0 +1,50 @@
+"""Full-duplex pairwise exchange, in blocking and non-blocking flavors.
+
+This is the inner step of every ring/pairwise collective.  The blocking
+flavor must order its two calls (RCCE's doubly-synchronizing primitives
+deadlock otherwise — Fig. 4); callers supply ``send_first`` computed from
+the odd-even rule (rings) or the rank comparison rule (pairwise Alltoall).
+The non-blocking flavor issues both operations and synchronizes once
+(Fig. 5), making the ordering irrelevant and overlapping the copies.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Generator
+
+import numpy as np
+
+from repro.hw.machine import CoreEnv
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.comm import Communicator
+
+
+def full_exchange(comm: "Communicator", env: CoreEnv, send_data: np.ndarray,
+                  dst: int, recv_buf: np.ndarray, src: int,
+                  send_first: bool) -> Generator:
+    """Send ``send_data`` to ``dst`` while receiving into ``recv_buf``
+    from ``src`` (both may be the same peer or different ring neighbours)."""
+    if comm.blocking:
+        rcce = comm.p2p
+        if send_first:
+            yield from rcce.send(env, send_data, dst)
+            yield from rcce.recv(env, recv_buf, src)
+        else:
+            yield from rcce.recv(env, recv_buf, src)
+            yield from rcce.send(env, send_data, dst)
+    else:
+        layer = comm.p2p
+        sreq = yield from layer.isend(env, send_data, dst)
+        rreq = yield from layer.irecv(env, recv_buf, src)
+        yield from layer.wait_all(env, [sreq, rreq])
+
+
+def ring_send_first(env: CoreEnv) -> bool:
+    """RCCE_comm's odd-even rule: even ranks send first (Fig. 4)."""
+    return env.rank % 2 == 0
+
+
+def pairwise_send_first(env: CoreEnv, partner: int) -> bool:
+    """Deadlock-free ordering for symmetric pairwise exchanges."""
+    return env.rank < partner

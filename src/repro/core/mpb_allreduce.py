@@ -1,0 +1,183 @@
+"""MPB-direct Allreduce — the paper's optimization D (Figs. 7 and 8).
+
+The buffer-based ring copies every in-transit block out of the left
+neighbour's MPB into private memory, reduces there, and copies the result
+back into the local MPB for the right neighbour.  The MPB-direct variant
+feeds the reduction operator straight from the left neighbour's MPB and
+writes the result straight into the local MPB, eliminating the private
+memory round trip.  Double buffering (the MPB payload split in halves)
+lets a core fill one buffer while its right neighbour still reads the
+other; the same sent/ready handshake as the non-blocking layer keeps the
+halves consistent.
+
+On real silicon the gain was only ~10% because the SCC's arbiter erratum
+forces *local* MPB accesses through the mesh (15 → 45 core cycles + 8 mesh
+cycles), and the result-write side of this algorithm is all local-MPB
+traffic; the simulator reproduces both the buggy and the fixed chip via
+``SCCConfig.erratum_enabled`` (see ``benchmarks/test_ablation_erratum``).
+
+Pipeline layout (write counter ``k``; write ``k`` goes to MPB half
+``k % 2``):
+
+* ``k = 0``: seed — rank ``me`` puts its own input block ``me-1`` into its
+  MPB.
+* ``k = 1 .. p-1`` (reduce-scatter round ``r = k-1``): read block
+  ``me-2-r`` from the left MPB, reduce with the local input block, write
+  into the local MPB.  The final round's output is block ``me``.
+* ``k = p .. 2p-3`` (allgather round ``g = k-p``): read block ``me-1-g``
+  from the left MPB into the private result *and* forward it through the
+  local MPB (in-transit data, Fig. 7's motivation).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Generator
+
+import numpy as np
+
+from repro.core.ops import ReduceOp
+from repro.hw.flags import Flag
+from repro.hw.machine import CoreEnv
+from repro.hw.mpb import MPBRegion, as_bytes
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.comm import Communicator
+
+
+class MPBAllreduceError(Exception):
+    """The vector's blocks do not fit the MPB double buffers."""
+
+
+def _halves(env: CoreEnv, rank: int) -> tuple[MPBRegion, MPBRegion]:
+    mpb = env.mpb_of_rank(rank)
+    whole = MPBRegion(mpb, mpb.payload_offset, mpb.payload_bytes)
+    return whole.halves()
+
+
+def _pair_flags(env: CoreEnv, producer: int, half: int) -> tuple[Flag, Flag]:
+    """(sent, ready) flags for the producer→consumer edge of one half.
+
+    ``sent`` lives at the consumer (the producer's right neighbour);
+    ``ready`` lives at the producer.  ``ready`` starts True ("buffer
+    free"); the handshake is self-restoring, so forcing it True at entry
+    is idempotent across calls.
+    """
+    consumer = (producer + 1) % env.size
+    sent = env.machine.flag(env.core_of_rank(consumer),
+                            f"mpbar.sent.{half}")
+    ready = env.machine.flag(env.core_of_rank(producer),
+                             f"mpbar.ready.{half}")
+    return sent, ready
+
+
+def mpb_allreduce(comm: "Communicator", env: CoreEnv, sendbuf: np.ndarray,
+                  op: ReduceOp) -> Generator:
+    """Allreduce working directly on the MPBs.  Returns the result vector."""
+    p, me = env.size, env.rank
+    if p == 1:
+        return sendbuf.copy()
+    part = comm.partition(sendbuf.size, p)
+    half_bytes = _halves(env, me)[0].size
+    max_block_bytes = part.max_size() * sendbuf.itemsize
+    if max_block_bytes > half_bytes:
+        raise MPBAllreduceError(
+            f"block of {max_block_bytes} B exceeds the {half_bytes} B "
+            "MPB double-buffer half; use the buffer-based ring instead")
+
+    lat = env.latency
+    cfg = env.config
+    me_core = env.core_id
+    left = (me - 1) % p
+    left_core = env.core_of_rank(left)
+    my_halves = _halves(env, me)
+    left_halves = _halves(env, left)
+    result = np.empty_like(sendbuf)
+    dtype = sendbuf.dtype
+    itemsize = sendbuf.itemsize
+
+    # Flags: as producer I handshake with my right neighbour; as consumer
+    # I handshake with my left neighbour.
+    prod_flags = [_pair_flags(env, me, h) for h in (0, 1)]
+    cons_flags = [_pair_flags(env, left, h) for h in (0, 1)]
+    for _sent, ready in prod_flags:
+        ready.force(True)
+
+    round_overhead = lat.core_cycles(cfg.mpb_round_overhead_cycles)
+
+    def produce(k: int, data: np.ndarray, write_cost: int) -> Generator:
+        """Write ``data`` into my half ``k % 2`` once it is free."""
+        half = k % 2
+        sent, ready = prod_flags[half]
+        yield from ready.wait_set(env.core)
+        yield from ready.clear_by(env.core)
+        yield from env.consume(write_cost, "copy")
+        my_halves[half].write(as_bytes(data))
+        yield from sent.set_by(env.core)
+
+    def consume_begin(k: int) -> Generator:
+        """Wait until left's half ``k % 2`` is full; return its region."""
+        sent, _ready = cons_flags[k % 2]
+        yield from sent.wait_set(env.core)
+        return left_halves[k % 2]
+
+    def consume_end(k: int) -> Generator:
+        """Release left's half ``k % 2``."""
+        sent, ready = cons_flags[k % 2]
+        yield from sent.clear_by(env.core)
+        yield from ready.set_by(env.core)
+
+    # k = 0: seed my MPB with my own input block (me - 1).
+    seed_block = (me - 1) % p
+    seed = sendbuf[part.slice_of(seed_block)]
+    yield from produce(0, seed,
+                       lat.mpb_write_bytes(me_core, me_core, seed.nbytes))
+
+    # Reduce-scatter rounds r = 0 .. p-2 (writes k = r + 1).
+    for r in range(p - 1):
+        block = (me - 2 - r) % p
+        nels = part.size(block)
+        nbytes = nels * itemsize
+        region = yield from consume_begin(r)
+        # One fused pass: stream left's partial from its MPB, combine with
+        # the local input block, stream the result into my MPB.
+        cost = (round_overhead
+                + lat.mpb_stream_read(me_core, left_core, nbytes)
+                + lat.reduce_doubles(nels)
+                + lat.core_cycles(lat.lines(nbytes)
+                                  * cfg.cache_line_core_cycles))
+        yield from env.consume(cost, "compute")
+        operand = np.empty(nels, dtype=dtype)
+        region.read_into(operand.view(np.uint8).reshape(-1))
+        combined = op(sendbuf[part.slice_of(block)], operand)
+        yield from consume_end(r)
+        if r < p - 2:
+            yield from produce(
+                r + 1, combined,
+                lat.mpb_stream_write(me_core, me_core, nbytes))
+        else:
+            # Final round: 'combined' is my fully reduced block (index me).
+            result[part.slice_of(me)] = combined
+            yield from produce(
+                r + 1, combined,
+                lat.mpb_stream_write(me_core, me_core, nbytes))
+
+    # Allgather rounds g = 0 .. p-2 (reads of writes k = p-1+g).
+    for g in range(p - 1):
+        block = (me - 1 - g) % p
+        nels = part.size(block)
+        nbytes = nels * itemsize
+        region = yield from consume_begin(p - 1 + g)
+        yield from env.consume(
+            round_overhead + lat.mpb_read_bytes(me_core, left_core, nbytes),
+            "copy")
+        incoming = np.empty(nels, dtype=dtype)
+        region.read_into(incoming.view(np.uint8).reshape(-1))
+        result[part.slice_of(block)] = incoming
+        yield from consume_end(p - 1 + g)
+        if g < p - 2:
+            # Forward in-transit through my MPB for my right neighbour.
+            yield from produce(
+                p + g, incoming,
+                lat.mpb_stream_write(me_core, me_core, nbytes))
+
+    return result

@@ -1,0 +1,53 @@
+"""Reduction operators for the collective operations.
+
+The paper's Allreduce definition notes the summation "can in general be
+replaced by any associative binary operator"; we provide the usual MPI
+set.  Operators are applied with NumPy (vectorized, per the HPC guides) —
+the simulated *cost* of a reduction is charged separately through
+:meth:`repro.hw.timing.LatencyModel.reduce_doubles`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ReduceOp:
+    """An associative elementwise reduction operator."""
+
+    name: str
+    fn: Callable[[np.ndarray, np.ndarray], np.ndarray]
+
+    def __call__(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        return self.fn(a, b)
+
+    def reduce_all(self, vectors: list[np.ndarray]) -> np.ndarray:
+        """Fold the operator over a list of equal-shape vectors."""
+        if not vectors:
+            raise ValueError("reduce_all needs at least one vector")
+        acc = np.array(vectors[0], copy=True)
+        for vec in vectors[1:]:
+            acc = self.fn(acc, vec)
+        return acc
+
+    def __repr__(self) -> str:
+        return f"ReduceOp({self.name})"
+
+
+SUM = ReduceOp("sum", np.add)
+PROD = ReduceOp("prod", np.multiply)
+MIN = ReduceOp("min", np.minimum)
+MAX = ReduceOp("max", np.maximum)
+
+OPS: dict[str, ReduceOp] = {op.name: op for op in (SUM, PROD, MIN, MAX)}
+
+
+def op_by_name(name: str) -> ReduceOp:
+    try:
+        return OPS[name]
+    except KeyError:
+        raise KeyError(f"unknown reduce op {name!r}; known: {sorted(OPS)}") from None

@@ -1,0 +1,67 @@
+"""ReduceScatter: the ring (bucket) algorithm of RCCE_comm (Fig. 2).
+
+Cores iteratively "push" blocks of their operand vector along a virtual
+ring.  After ``p-1`` rounds, rank ``r`` holds the fully reduced block
+``(r - shift) mod p`` of the partition (``shift = 0`` gives the standard
+MPI assignment: block ``r`` at rank ``r``; a non-zero shift labels blocks
+in root-relative vrank space for the rooted Reduce).
+
+Round structure (rank ``me``, ``p`` ranks, block indices mod ``p``):
+
+* round ``r`` sends the partial sum of block ``me - 1 - r`` to the right
+  neighbour and receives block ``me - 2 - r`` from the left neighbour,
+  reducing it into the local accumulator.
+
+The per-round cost is governed by the *largest* block exchanged anywhere in
+the ring that round (all cores synchronize with their neighbours), which is
+what makes the standard partition's oversized first block so expensive —
+optimization C.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Generator
+
+import numpy as np
+
+from repro.core.blocks import Partition
+from repro.core.exchange import full_exchange, ring_send_first
+from repro.core.ops import ReduceOp
+from repro.hw.machine import CoreEnv
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.comm import Communicator
+
+
+def ring_reduce_scatter(comm: "Communicator", env: CoreEnv,
+                        sendbuf: np.ndarray, op: ReduceOp,
+                        shift: int = 0) -> Generator:
+    """Run the ring; returns ``(my_block, partition)``.
+
+    ``my_block`` is a fresh array holding the reduced block
+    ``(me - shift) % p``; ``partition`` maps block indices to vector
+    slices.
+    """
+    p, me = env.size, env.rank
+    part: Partition = comm.partition(sendbuf.size, p)
+    if p == 1:
+        return sendbuf.copy(), part
+    acc = sendbuf.copy()
+    right = (me + 1) % p
+    left = (me - 1) % p
+    vme = (me - shift) % p
+    send_first = ring_send_first(env)
+    for r in range(p - 1):
+        send_block = (vme - 1 - r) % p
+        recv_block = (vme - 2 - r) % p
+        send_data = acc[part.slice_of(send_block)]
+        recv_buf = np.empty(part.size(recv_block), dtype=acc.dtype)
+        yield from full_exchange(comm, env, send_data, right, recv_buf,
+                                 left, send_first)
+        nels = part.size(recv_block)
+        if nels:
+            yield from env.consume(
+                env.latency.reduce_doubles(nels), "compute")
+            sl = part.slice_of(recv_block)
+            acc[sl] = op(acc[sl], recv_buf)
+    return acc[part.slice_of(vme)].copy(), part

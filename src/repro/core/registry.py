@@ -1,0 +1,71 @@
+"""Stack registry: the paper's Fig.-9 graph labels as communicator recipes.
+
+===========================  ================================================
+label                        composition
+===========================  ================================================
+``blocking``                 RCCE blocking p2p + RCCE_comm algorithms
+                             (odd-even ring ordering, standard partition)
+``ircce``                    iRCCE non-blocking p2p (optimization A),
+                             standard partition
+``lightweight``              lightweight non-blocking p2p (optimization B),
+                             standard partition
+``lightweight_balanced``     + balanced partition (optimization C)
+``mpb``                      + MPB-direct Allreduce (optimization D)
+``rckmpi``                   the RCKMPI comparison stack
+===========================  ================================================
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from repro.core.blocks import balanced_partition, standard_partition
+from repro.core.comm import Communicator
+from repro.hw.machine import Machine
+from repro.ircce.api import IRCCE
+from repro.lwnb.api import LWNB
+from repro.rcce.api import RCCE
+
+#: The order the paper's figures present the stacks in.
+STACKS: tuple[str, ...] = (
+    "rckmpi",
+    "blocking",
+    "ircce",
+    "lightweight",
+    "lightweight_balanced",
+    "mpb",
+)
+
+#: Stacks Fig. 9 shows for every collective (mpb only exists for Allreduce).
+NON_MPB_STACKS: tuple[str, ...] = STACKS[:-1]
+
+
+def make_communicator(machine: Machine, stack: str) -> "Communicator":
+    """Build the communicator for one of the paper's stacks.
+
+    For ``rckmpi`` this returns an
+    :class:`repro.rckmpi.api.RCKMPICommunicator`, which implements the same
+    collective interface over the modeled MPICH-style channel.
+    """
+    if stack == "blocking":
+        return Communicator(machine, RCCE(machine),
+                            partitioner=standard_partition, name="blocking")
+    if stack == "ircce":
+        return Communicator(machine, IRCCE(machine),
+                            partitioner=standard_partition, name="ircce")
+    if stack == "lightweight":
+        return Communicator(machine, LWNB(machine),
+                            partitioner=standard_partition,
+                            name="lightweight")
+    if stack == "lightweight_balanced":
+        return Communicator(machine, LWNB(machine),
+                            partitioner=balanced_partition,
+                            name="lightweight_balanced")
+    if stack == "mpb":
+        return Communicator(machine, LWNB(machine),
+                            partitioner=balanced_partition,
+                            use_mpb_allreduce=True, name="mpb")
+    if stack == "rckmpi":
+        from repro.rckmpi.api import RCKMPICommunicator
+        return RCKMPICommunicator(machine)
+    raise KeyError(f"unknown stack {stack!r}; known: {STACKS}")

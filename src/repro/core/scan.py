@@ -1,0 +1,82 @@
+"""Prefix reductions: inclusive Scan and exclusive Exscan.
+
+Not evaluated in the paper, but part of the MPI collective set RCKMPI
+implements; included for API completeness.  The algorithm is the standard
+recursive-doubling prefix scheme (Hillis-Steele over ranks): in round k,
+rank ``me`` receives the partial prefix of rank ``me - 2^k`` and folds it
+in; ceil(log2 p) rounds, deadlock-free with either p2p layer because every
+edge points "upward" (no cycles).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Generator
+
+import numpy as np
+
+from repro.core.ops import ReduceOp
+from repro.hw.machine import CoreEnv
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.comm import Communicator
+
+
+def recursive_doubling_scan(comm: "Communicator", env: CoreEnv,
+                            sendbuf: np.ndarray, op: ReduceOp) -> Generator:
+    """Inclusive scan: rank r gets op-fold of ranks 0..r."""
+    p, me = env.size, env.rank
+    acc = sendbuf.copy()
+    tmp = np.empty_like(acc)
+    stride = 1
+    while stride < p:
+        # Non-blocking posture: issue the send (if any) and the receive
+        # (if any) together so neither layer's semantics deadlock.
+        if comm.blocking:
+            # Edges go from lower to higher ranks only: send-then-recv on
+            # every rank is cycle-free.
+            if me + stride < p:
+                yield from comm.p2p.send(env, acc, me + stride)
+            if me - stride >= 0:
+                yield from comm.p2p.recv(env, tmp, me - stride)
+        else:
+            reqs = []
+            if me + stride < p:
+                req = yield from comm.p2p.isend(env, acc.copy(), me + stride)
+                reqs.append(req)
+            if me - stride >= 0:
+                req = yield from comm.p2p.irecv(env, tmp, me - stride)
+                reqs.append(req)
+            if reqs:
+                yield from comm.p2p.wait_all(env, reqs)
+        if me - stride >= 0:
+            yield from env.consume(env.latency.reduce_doubles(acc.size),
+                                   "compute")
+            acc = op(tmp, acc)
+        stride <<= 1
+    return acc
+
+
+def exscan_from_scan(comm: "Communicator", env: CoreEnv,
+                     sendbuf: np.ndarray, op: ReduceOp) -> Generator:
+    """Exclusive scan: rank r gets op-fold of ranks 0..r-1 (rank 0 gets
+    None, MPI-style: its buffer is undefined)."""
+    p, me = env.size, env.rank
+    inclusive = yield from recursive_doubling_scan(comm, env, sendbuf, op)
+    # Shift down by one rank: rank r sends its inclusive prefix to r+1.
+    out = np.empty_like(sendbuf)
+    if comm.blocking:
+        if me + 1 < p:
+            yield from comm.p2p.send(env, inclusive, me + 1)
+        if me - 1 >= 0:
+            yield from comm.p2p.recv(env, out, me - 1)
+    else:
+        reqs = []
+        if me + 1 < p:
+            req = yield from comm.p2p.isend(env, inclusive, me + 1)
+            reqs.append(req)
+        if me - 1 >= 0:
+            req = yield from comm.p2p.irecv(env, out, me - 1)
+            reqs.append(req)
+        if reqs:
+            yield from comm.p2p.wait_all(env, reqs)
+    return out if me > 0 else None

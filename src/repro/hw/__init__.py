@@ -1,0 +1,40 @@
+"""Hardware model of the Intel Single-Chip Cloud Computer.
+
+Subsystems:
+
+* :mod:`repro.hw.config` — every timing/geometry parameter (`SCCConfig`),
+  clock presets, the erratum toggle.
+* :mod:`repro.hw.topology` — the 6x4 tile mesh, XY routing, hop counts,
+  memory-controller placement.
+* :mod:`repro.hw.timing` — the latency model (MPB/DRAM/cache access costs,
+  bulk copy pipelines, reduction arithmetic).
+* :mod:`repro.hw.mpb` — message-passing buffers with real byte storage.
+* :mod:`repro.hw.flags` — MPB synchronization flags with timed access.
+* :mod:`repro.hw.machine` — the assembled chip (`Machine`), cores with
+  busy/wait accounting, and the SPMD launcher (`run_spmd`).
+"""
+
+from repro.hw.config import CLOCK_PRESETS, SCCConfig, config_for_preset
+from repro.hw.flags import Flag
+from repro.hw.machine import Core, CoreEnv, Machine, SPMDResult
+from repro.hw.mpb import MPB, MPBError, MPBRegion, as_bytes
+from repro.hw.timing import LatencyModel
+from repro.hw.topology import Topology, default_topology
+
+__all__ = [
+    "CLOCK_PRESETS",
+    "Core",
+    "CoreEnv",
+    "Flag",
+    "LatencyModel",
+    "MPB",
+    "MPBError",
+    "MPBRegion",
+    "Machine",
+    "SCCConfig",
+    "SPMDResult",
+    "Topology",
+    "as_bytes",
+    "config_for_preset",
+    "default_topology",
+]

@@ -1,0 +1,73 @@
+"""MPB synchronization flags with modeled access costs.
+
+A :class:`Flag` pairs a kernel :class:`~repro.sim.events.Gate` with the MPB
+that physically holds it, so setting/clearing from a given core costs that
+core the corresponding MPB write latency, and a waiting core observes the
+change only after its final poll's read latency (RCCE's
+``rcce_wait_until``).
+
+The generator methods charge time to the acting core's
+:class:`~repro.sim.trace.TimeAccount` under the states ``overhead`` (flag
+writes) and ``wait_flag`` (waits), which is what lets the test suite
+reproduce the paper's profiling claim that cores spend up to ~50% of their
+time in ``rcce_wait_until``.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Generator
+
+from repro.sim.events import Gate
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.hw.machine import Core, Machine
+
+
+class Flag:
+    """One synchronization flag living in ``owner``'s MPB."""
+
+    __slots__ = ("machine", "owner", "name", "gate")
+
+    def __init__(self, machine: "Machine", owner: int, name: str):
+        self.machine = machine
+        self.owner = owner
+        self.name = name
+        self.gate = Gate(machine.sim, name=f"flag[{owner}].{name}")
+
+    @property
+    def value(self) -> bool:
+        return self.gate.value
+
+    # -- timed operations (generators; use via ``yield from``) ------------
+    def set_by(self, core: "Core") -> Generator:
+        """``core`` writes 1 to the flag (MPB write latency applies)."""
+        cost = self.machine.latency.flag_write(core.core_id, self.owner)
+        yield from core.consume(cost, "overhead")
+        self.gate.set()
+
+    def clear_by(self, core: "Core") -> Generator:
+        """``core`` writes 0 to the flag."""
+        cost = self.machine.latency.flag_write(core.core_id, self.owner)
+        yield from core.consume(cost, "overhead")
+        self.gate.clear()
+
+    def wait_set(self, core: "Core") -> Generator:
+        """``core`` polls until the flag is 1 (``rcce_wait_until``)."""
+        notify = self.machine.latency.flag_notify(core.core_id, self.owner)
+        yield from core.wait(self.gate.wait_true(notify), "wait_flag")
+
+    def wait_clear(self, core: "Core") -> Generator:
+        """``core`` polls until the flag is 0."""
+        notify = self.machine.latency.flag_notify(core.core_id, self.owner)
+        yield from core.wait(self.gate.wait_false(notify), "wait_flag")
+
+    # -- untimed operations (simulation bookkeeping) -----------------------
+    def force(self, value: bool) -> None:
+        """Set the level without charging anyone (test/setup helper)."""
+        if value:
+            self.gate.set()
+        else:
+            self.gate.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Flag owner={self.owner} {self.name!r} value={self.value}>"

@@ -1,0 +1,261 @@
+"""The assembled machine: cores, MPBs, flags, and the SPMD launcher.
+
+:class:`Machine` wires an :class:`~repro.hw.config.SCCConfig` into a live
+simulated chip.  User code (and the communication stacks) interact with it
+through :class:`CoreEnv` objects handed to an SPMD program:
+
+    def program(env):
+        yield from env.compute(1000)            # 1000 core cycles of work
+        ...
+    machine = Machine()
+    result = machine.run_spmd(program)
+    print(result.elapsed_us)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Generator, Optional, Sequence
+
+from repro.hw.config import SCCConfig
+from repro.hw.flags import Flag
+from repro.hw.mpb import MPB
+from repro.hw.timing import LatencyModel
+from repro.hw.topology import Topology
+from repro.sim.clock import ps_to_us
+from repro.sim.engine import Simulator
+from repro.sim.events import Event
+from repro.sim.resources import FifoLock
+from repro.sim.trace import TimeAccount, Tracer
+
+
+class Core:
+    """One P54C core: an execution context with busy/wait accounting.
+
+    All core-time consumption funnels through :meth:`consume`, which holds
+    the core's CPU lock — so the core's main program and any non-blocking
+    communication sub-processes can never consume the same cycles twice.
+    """
+
+    __slots__ = ("machine", "core_id", "cpu", "account")
+
+    def __init__(self, machine: "Machine", core_id: int):
+        self.machine = machine
+        self.core_id = core_id
+        self.cpu = FifoLock(machine.sim, name=f"cpu{core_id}")
+        self.account = TimeAccount()
+
+    def consume(self, duration_ps: int, state: str = "compute") -> Generator:
+        """Occupy the core for ``duration_ps``, accounted under ``state``."""
+        if not self.cpu.try_acquire():
+            yield self.cpu.acquire()
+        try:
+            if duration_ps > 0:
+                yield self.machine.sim.timeout(duration_ps)
+            self.account.add(state, duration_ps)
+        finally:
+            self.cpu.release()
+
+    def wait(self, event: Event, state: str = "wait") -> Generator:
+        """Wait on ``event`` without occupying the core; time is accounted
+        under ``state``.  Returns the event's value."""
+        t0 = self.machine.sim.now
+        value = yield event
+        self.account.add(state, self.machine.sim.now - t0)
+        return value
+
+    def consume_at_mpb(self, owner_core: int, duration_ps: int,
+                       state: str = "compute") -> Generator:
+        """Like :meth:`consume`, but the time is an access burst to
+        ``owner_core``'s MPB: when port contention is modeled, the burst
+        additionally holds that MPB's port lock (stall time while another
+        core owns the port is accounted as ``wait_port``).
+
+        Lock order is always CPU first, then port; port holders only wait
+        on timeouts, so the ordering is deadlock-free.
+        """
+        ports = self.machine.mpb_ports
+        if ports is None:
+            yield from self.consume(duration_ps, state)
+            return
+        if not self.cpu.try_acquire():
+            yield self.cpu.acquire()
+        try:
+            port = ports[owner_core]
+            t0 = self.machine.sim.now
+            if not port.try_acquire():
+                yield port.acquire()
+            stall = self.machine.sim.now - t0
+            if stall:
+                self.account.add("wait_port", stall)
+            try:
+                if duration_ps > 0:
+                    yield self.machine.sim.timeout(duration_ps)
+                self.account.add(state, duration_ps)
+            finally:
+                port.release()
+        finally:
+            self.cpu.release()
+
+    def compute_cycles(self, cycles: int | float, state: str = "compute") -> Generator:
+        yield from self.consume(self.machine.latency.core_cycles(cycles), state)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Core {self.core_id}>"
+
+
+@dataclass
+class SPMDResult:
+    """Outcome of one :meth:`Machine.run_spmd` launch."""
+
+    values: list[Any]
+    elapsed_ps: int
+    accounts: list[TimeAccount]
+
+    @property
+    def elapsed_us(self) -> float:
+        return ps_to_us(self.elapsed_ps)
+
+    def account_fraction(self, state: str) -> float:
+        """Fraction of total accounted time (all cores) spent in ``state``."""
+        total = sum(a.total() for a in self.accounts)
+        if total == 0:
+            return 0.0
+        return sum(a.get(state) for a in self.accounts) / total
+
+
+class Machine:
+    """A simulated SCC chip."""
+
+    def __init__(self, config: Optional[SCCConfig] = None,
+                 tracer: Optional[Tracer] = None):
+        self.config = config if config is not None else SCCConfig()
+        self.sim = Simulator(tracer)
+        self.topology = Topology(self.config.mesh_cols, self.config.mesh_rows,
+                                 self.config.cores_per_tile)
+        self.latency = LatencyModel(self.config, self.topology)
+        self.cores = [Core(self, i) for i in range(self.config.num_cores)]
+        self.mpbs = [
+            MPB(i, self.config.mpb_bytes_per_core, self.config.l1_line_bytes,
+                self.config.mpb_flag_bytes)
+            for i in range(self.config.num_cores)
+        ]
+        self._flags: dict[tuple[int, str], Flag] = {}
+        #: Scratch space for communication layers to stash per-machine
+        #: state (e.g. the iRCCE wildcard-receive announcement queues).
+        self.services: dict[str, Any] = {}
+        #: Per-MPB access-port locks (only when contention is modeled).
+        self.mpb_ports: Optional[list[FifoLock]] = (
+            [FifoLock(self.sim, name=f"mpbport{i}")
+             for i in range(self.config.num_cores)]
+            if self.config.model_mpb_contention else None)
+
+    @property
+    def num_cores(self) -> int:
+        return self.config.num_cores
+
+    def flag(self, owner: int, name: str) -> Flag:
+        """The flag ``name`` in ``owner``'s MPB (created on first use)."""
+        if not 0 <= owner < self.num_cores:
+            raise ValueError(f"flag owner {owner} out of range")
+        key = (owner, name)
+        flag = self._flags.get(key)
+        if flag is None:
+            flag = self._flags[key] = Flag(self, owner, name)
+        return flag
+
+    def reset_mpbs(self) -> None:
+        for mpb in self.mpbs:
+            mpb.clear()
+
+    # ------------------------------------------------------------------ #
+    def run_spmd(self, program: Callable[..., Generator], *args: Any,
+                 ranks: Optional[Sequence[int]] = None,
+                 **kwargs: Any) -> SPMDResult:
+        """Run ``program(env, *args, **kwargs)`` on every core.
+
+        ``ranks`` restricts the launch to a subset of cores (they become
+        ranks 0..len-1 of the job).  Returns per-rank return values, the
+        simulated makespan, and per-rank time accounts.
+        """
+        ranks = list(ranks) if ranks is not None else list(range(self.num_cores))
+        size = len(ranks)
+        if size == 0:
+            raise ValueError("run_spmd needs at least one rank")
+        start = self.sim.now
+        envs = [CoreEnv(self, rank, size, ranks) for rank in range(size)]
+        procs = [
+            self.sim.process(program(env, *args, **kwargs),
+                             name=f"rank{env.rank}")
+            for env in envs
+        ]
+        self.sim.run_until_processes(procs)
+        return SPMDResult(
+            values=[p.value for p in procs],
+            elapsed_ps=self.sim.now - start,
+            accounts=[self.cores[cid].account for cid in ranks],
+        )
+
+
+class CoreEnv:
+    """Per-rank execution environment handed to SPMD programs."""
+
+    __slots__ = ("machine", "rank", "size", "_ranks", "core", "data")
+
+    def __init__(self, machine: Machine, rank: int, size: int,
+                 ranks: Sequence[int]):
+        self.machine = machine
+        self.rank = rank
+        self.size = size
+        self._ranks = list(ranks)
+        self.core = machine.cores[self._ranks[rank]]
+        self.data: dict[str, Any] = {}
+
+    # -- identity ----------------------------------------------------------
+    @property
+    def core_id(self) -> int:
+        return self.core.core_id
+
+    def core_of_rank(self, rank: int) -> int:
+        return self._ranks[rank]
+
+    def rank_of_core(self, core_id: int) -> int:
+        return self._ranks.index(core_id)
+
+    @property
+    def sim(self) -> Simulator:
+        return self.machine.sim
+
+    @property
+    def config(self) -> SCCConfig:
+        return self.machine.config
+
+    @property
+    def latency(self) -> LatencyModel:
+        return self.machine.latency
+
+    @property
+    def now(self) -> int:
+        return self.machine.sim.now
+
+    # -- time --------------------------------------------------------------
+    def compute(self, cycles: int | float) -> Generator:
+        """Model ``cycles`` core cycles of application computation."""
+        yield from self.core.compute_cycles(cycles, "compute")
+
+    def consume(self, duration_ps: int, state: str) -> Generator:
+        yield from self.core.consume(duration_ps, state)
+
+    def sleep(self, duration_ps: int) -> Generator:
+        """Idle (not occupying the CPU) for a fixed duration."""
+        yield from self.core.wait(self.sim.timeout(duration_ps), "idle")
+
+    # -- hardware handles -----------------------------------------------------
+    def my_mpb(self) -> MPB:
+        return self.machine.mpbs[self.core_id]
+
+    def mpb_of_rank(self, rank: int) -> MPB:
+        return self.machine.mpbs[self.core_of_rank(rank)]
+
+    def flag(self, owner_rank: int, name: str) -> Flag:
+        return self.machine.flag(self.core_of_rank(owner_rank), name)

@@ -1,0 +1,157 @@
+"""Hardware latency model: pure functions from operations to picoseconds.
+
+This module models *hardware* costs only — wire latencies, SRAM/DRAM access
+times, per-line copy pipeline costs.  Software overheads (library call
+costs, the extra put/get invocation for a padded tail line, request-list
+management) are charged by the library layers (``repro.rcce``,
+``repro.ircce``, ...), which is exactly the separation the paper exploits:
+its optimizations B and C change software costs on identical hardware.
+
+All methods return integer picoseconds.
+"""
+
+from __future__ import annotations
+
+from repro.hw.config import SCCConfig
+from repro.hw.topology import Topology
+
+
+class LatencyModel:
+    """Computes access/copy latencies for a given config + topology."""
+
+    def __init__(self, config: SCCConfig, topology: Topology):
+        self.config = config
+        self.topology = topology
+        self._core_ps = config.core_clock().ps_per_cycle
+        self._mesh_ps = config.mesh_clock().ps_per_cycle
+
+    # -- cycle helpers -----------------------------------------------------
+    def core_cycles(self, n: int | float) -> int:
+        return int(round(n * self._core_ps))
+
+    def mesh_cycles(self, n: int | float) -> int:
+        return int(round(n * self._mesh_ps))
+
+    # -- line arithmetic -----------------------------------------------------
+    def lines(self, nbytes: int) -> int:
+        """Number of L1 lines covering ``nbytes`` (the WCB transfers whole
+        lines; partial tail lines are padded up)."""
+        if nbytes < 0:
+            raise ValueError(f"negative byte count: {nbytes}")
+        line = self.config.l1_line_bytes
+        return -(-nbytes // line)
+
+    def has_padded_tail(self, nbytes: int) -> bool:
+        """True when the message does not fill its last cache line — the
+        condition that triggers RCCE's extra put/get call (period-4 spikes,
+        Section V-A)."""
+        return nbytes % self.config.l1_line_bytes != 0
+
+    # -- single-access latencies ------------------------------------------------
+    def mpb_access(self, accessor: int, owner: int) -> int:
+        """Latency of one MPB access (a flag read/write, or the startup
+        latency of a bulk copy) by core ``accessor`` to the MPB owned by
+        core ``owner``."""
+        cfg = self.config
+        if accessor == owner:
+            if cfg.erratum_enabled:
+                return (self.core_cycles(cfg.mpb_local_bug_core_cycles)
+                        + self.mesh_cycles(cfg.mpb_local_bug_mesh_cycles))
+            return self.core_cycles(cfg.mpb_local_core_cycles)
+        hops = self.topology.hops(accessor, owner)
+        # Same-tile remote access still crosses the tile's mesh interface.
+        mesh = cfg.mpb_mesh_cycles_per_hop * max(1, 2 * hops)
+        return (self.core_cycles(cfg.mpb_remote_core_cycles)
+                + self.mesh_cycles(mesh))
+
+    def dram_access(self, core: int) -> int:
+        """First-touch latency of an off-chip DRAM access."""
+        cfg = self.config
+        d = self.topology.hops_to_mc(core)
+        return (self.core_cycles(cfg.dram_core_cycles)
+                + self.mesh_cycles(cfg.dram_mesh_cycles_per_hop * d))
+
+    def flag_write(self, writer: int, owner: int) -> int:
+        """Cost for ``writer`` to set/clear a flag living in ``owner``'s MPB."""
+        return (self.mpb_access(writer, owner)
+                + self.core_cycles(self.config.flag_write_extra_cycles))
+
+    def flag_notify(self, reader: int, owner: int) -> int:
+        """Delay between a flag level change and the polling core observing
+        it: the final successful poll's read latency."""
+        poll = self.core_cycles(self.config.flag_poll_interval_cycles)
+        return self.mpb_access(reader, owner) + poll
+
+    # -- bulk copies -----------------------------------------------------------
+    def _local_erratum_line_extra(self, accessor: int, owner: int) -> int:
+        """Per-line surcharge when a *local* MPB is accessed with the
+        arbiter-erratum workaround active: every line becomes a packet the
+        core sends to itself through the mesh."""
+        if accessor == owner and self.config.erratum_enabled:
+            return self.mesh_cycles(self.config.mpb_local_bug_mesh_cycles)
+        return 0
+
+    def mpb_write_bytes(self, writer: int, owner: int, nbytes: int) -> int:
+        """Copy ``nbytes`` from ``writer``'s (cached) private memory into
+        ``owner``'s MPB, through the write-combining buffer."""
+        if nbytes == 0:
+            return 0
+        n = self.lines(nbytes)
+        per_line = (self.core_cycles(self.config.put_line_core_cycles)
+                    + self.core_cycles(self.config.cache_line_core_cycles)
+                    + self._local_erratum_line_extra(writer, owner))
+        return self.mpb_access(writer, owner) + n * per_line
+
+    def mpb_read_bytes(self, reader: int, owner: int, nbytes: int) -> int:
+        """Copy ``nbytes`` from ``owner``'s MPB into ``reader``'s private
+        memory (which is cached, so the write side is cheap)."""
+        if nbytes == 0:
+            return 0
+        n = self.lines(nbytes)
+        per_line = (self.core_cycles(self.config.get_line_core_cycles)
+                    + self.core_cycles(self.config.cache_line_core_cycles)
+                    + self._local_erratum_line_extra(reader, owner))
+        return self.mpb_access(reader, owner) + n * per_line
+
+    def mpb_stream_read(self, reader: int, owner: int, nbytes: int) -> int:
+        """Read ``nbytes`` from an MPB as reduction *operands* (no private
+        copy written) — the MPB-direct Allreduce's input path."""
+        if nbytes == 0:
+            return 0
+        n = self.lines(nbytes)
+        per_line = (self.core_cycles(self.config.get_line_core_cycles
+                                     + self.config.stream_read_extra_cycles)
+                    + self._local_erratum_line_extra(reader, owner))
+        return self.mpb_access(reader, owner) + n * per_line
+
+    def mpb_stream_write(self, writer: int, owner: int, nbytes: int) -> int:
+        """Write ``nbytes`` of reduction *results* into an MPB (no private
+        copy read) — the MPB-direct Allreduce's output path.  For the
+        ``writer == owner`` case the per-access erratum penalty applies to
+        every line, which is why the paper measured only ~10% gain."""
+        if nbytes == 0:
+            return 0
+        n = self.lines(nbytes)
+        per_line = (self.core_cycles(self.config.put_line_core_cycles)
+                    + self._local_erratum_line_extra(writer, owner))
+        return self.mpb_access(writer, owner) + n * per_line
+
+    def private_copy_bytes(self, nbytes: int) -> int:
+        """memcpy between two cached private-memory buffers."""
+        if nbytes == 0:
+            return 0
+        n = self.lines(nbytes)
+        return n * self.core_cycles(2 * self.config.cache_line_core_cycles)
+
+    def private_first_touch(self, core: int, nbytes: int) -> int:
+        """Cost of faulting ``nbytes`` of private memory into the cache."""
+        if nbytes == 0:
+            return 0
+        return self.lines(nbytes) * self.dram_access(core)
+
+    # -- computation ---------------------------------------------------------
+    def reduce_doubles(self, n: int) -> int:
+        """Arithmetic cost of reducing ``n`` pairs of doubles."""
+        if n < 0:
+            raise ValueError(f"negative element count: {n}")
+        return self.core_cycles(n * self.config.reduce_op_cycles_per_double)

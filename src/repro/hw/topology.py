@@ -1,0 +1,164 @@
+"""SCC mesh topology: tiles, cores, XY routing, memory controllers.
+
+The SCC arranges 24 tiles in a 6 (columns) x 4 (rows) mesh; each tile holds
+two cores, so core ``i`` sits on tile ``i // 2``.  Tiles are numbered
+row-major: tile ``t`` has mesh coordinates ``(x, y) = (t % cols, t // cols)``.
+Packets are routed X-first then Y (dimension-ordered XY routing), which is
+deadlock-free and gives a hop count equal to the Manhattan distance.
+
+Four DDR3 memory controllers hang off the mesh at routers ``(0, 0)``,
+``(cols-1, 0)``, ``(0, rows-1)`` and ``(cols-1, rows-1)``; each core is
+served by the controller of its quadrant (as on the real chip, where the
+lookup tables default to a quadrant mapping).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Iterator
+
+
+@dataclass(frozen=True)
+class Topology:
+    """Geometry of the core/tile mesh plus routing helpers."""
+
+    cols: int = 6
+    rows: int = 4
+    cores_per_tile: int = 2
+
+    def __post_init__(self) -> None:
+        if self.cols <= 0 or self.rows <= 0 or self.cores_per_tile <= 0:
+            raise ValueError("topology dimensions must be positive")
+
+    # -- counting --------------------------------------------------------
+    @property
+    def num_tiles(self) -> int:
+        return self.cols * self.rows
+
+    @property
+    def num_cores(self) -> int:
+        return self.num_tiles * self.cores_per_tile
+
+    def cores(self) -> range:
+        return range(self.num_cores)
+
+    # -- placement --------------------------------------------------------
+    def tile_of(self, core: int) -> int:
+        self._check_core(core)
+        return core // self.cores_per_tile
+
+    def tile_coords(self, tile: int) -> tuple[int, int]:
+        if not 0 <= tile < self.num_tiles:
+            raise ValueError(f"tile {tile} out of range [0, {self.num_tiles})")
+        return (tile % self.cols, tile // self.cols)
+
+    def core_coords(self, core: int) -> tuple[int, int]:
+        return self.tile_coords(self.tile_of(core))
+
+    def cores_of_tile(self, tile: int) -> tuple[int, ...]:
+        if not 0 <= tile < self.num_tiles:
+            raise ValueError(f"tile {tile} out of range [0, {self.num_tiles})")
+        base = tile * self.cores_per_tile
+        return tuple(range(base, base + self.cores_per_tile))
+
+    def same_tile(self, core_a: int, core_b: int) -> bool:
+        return self.tile_of(core_a) == self.tile_of(core_b)
+
+    # -- routing -----------------------------------------------------------
+    def hops(self, core_a: int, core_b: int) -> int:
+        """Mesh hops between the tiles of two cores (Manhattan distance)."""
+        xa, ya = self.core_coords(core_a)
+        xb, yb = self.core_coords(core_b)
+        return abs(xa - xb) + abs(ya - yb)
+
+    def xy_route(self, core_a: int, core_b: int) -> list[tuple[int, int]]:
+        """Router coordinates traversed by an XY-routed packet (inclusive)."""
+        xa, ya = self.core_coords(core_a)
+        xb, yb = self.core_coords(core_b)
+        path = [(xa, ya)]
+        x, y = xa, ya
+        step_x = 1 if xb > xa else -1
+        while x != xb:
+            x += step_x
+            path.append((x, y))
+        step_y = 1 if yb > ya else -1
+        while y != yb:
+            y += step_y
+            path.append((x, y))
+        return path
+
+    def max_hops(self) -> int:
+        """Mesh diameter in hops."""
+        return (self.cols - 1) + (self.rows - 1)
+
+    def average_hops(self) -> float:
+        """Mean hop count over all ordered core pairs (distinct cores)."""
+        total = 0
+        count = 0
+        for a in self.cores():
+            for b in self.cores():
+                if a != b:
+                    total += self.hops(a, b)
+                    count += 1
+        return total / count if count else 0.0
+
+    # -- memory controllers --------------------------------------------------
+    def mc_routers(self) -> list[tuple[int, int]]:
+        """Mesh coordinates of the four memory-controller attach points."""
+        return [
+            (0, 0),
+            (self.cols - 1, 0),
+            (0, self.rows - 1),
+            (self.cols - 1, self.rows - 1),
+        ]
+
+    def mc_of_core(self, core: int) -> tuple[int, int]:
+        """Controller serving a core: the nearest of the four (quadrant)."""
+        x, y = self.core_coords(core)
+        routers = self.mc_routers()
+        return min(routers, key=lambda r: (abs(r[0] - x) + abs(r[1] - y),
+                                           routers.index(r)))
+
+    def hops_to_mc(self, core: int) -> int:
+        """Hops from a core's tile to its memory controller's router."""
+        x, y = self.core_coords(core)
+        mx, my = self.mc_of_core(core)
+        return abs(mx - x) + abs(my - y)
+
+    # -- orderings -------------------------------------------------------------
+    def ring_order(self) -> list[int]:
+        """Natural rank ring 0, 1, ..., p-1 (what RCCE_comm uses)."""
+        return list(self.cores())
+
+    def snake_ring_order(self) -> list[int]:
+        """A topology-aware ring: tiles visited in boustrophedon (snake)
+        order so successive ring neighbours are at most one mesh hop apart.
+        Used by the topology-mapping ablation."""
+        order: list[int] = []
+        for y in range(self.rows):
+            xs = range(self.cols) if y % 2 == 0 else range(self.cols - 1, -1, -1)
+            for x in xs:
+                tile = y * self.cols + x
+                order.extend(self.cores_of_tile(tile))
+        return order
+
+    def neighbors(self, tile: int) -> Iterator[int]:
+        """Tiles adjacent in the mesh."""
+        x, y = self.tile_coords(tile)
+        for dx, dy in ((1, 0), (-1, 0), (0, 1), (0, -1)):
+            nx, ny = x + dx, y + dy
+            if 0 <= nx < self.cols and 0 <= ny < self.rows:
+                yield ny * self.cols + nx
+
+    # -- internals ----------------------------------------------------------
+    def _check_core(self, core: int) -> None:
+        if not 0 <= core < self.num_cores:
+            raise ValueError(f"core {core} out of range [0, {self.num_cores})")
+
+
+@lru_cache(maxsize=8)
+def default_topology(cols: int = 6, rows: int = 4,
+                     cores_per_tile: int = 2) -> Topology:
+    """Cached constructor for the standard SCC geometry."""
+    return Topology(cols, rows, cores_per_tile)

@@ -1,0 +1,10 @@
+"""iRCCE: non-blocking communication extension to RCCE (Section IV-A/B).
+
+See :mod:`repro.ircce.api` for the layer and :mod:`repro.ircce.requests`
+for the request machinery shared with the lightweight layer.
+"""
+
+from repro.ircce.api import IRCCE
+from repro.ircce.requests import ANY, NonBlockingLayer, Request, RequestError
+
+__all__ = ["ANY", "IRCCE", "NonBlockingLayer", "Request", "RequestError"]

@@ -1,0 +1,284 @@
+"""Non-blocking request objects and the shared layer machinery.
+
+A :class:`Request` wraps a transfer sub-process running the same MPB flag
+protocol as blocking RCCE.  The sub-process charges its copy time through
+the owning core's CPU lock, so transfers progress exactly when the core is
+otherwise idle (waiting) — the overlap that optimization A exploits: "cores
+can concurrently copy data in and out of the MPBs, effectively using the
+time they formerly spent waiting".
+
+:class:`NonBlockingLayer` is the common base for the two concrete layers:
+
+* :class:`repro.ircce.api.IRCCE` — models iRCCE: arbitrarily many pending
+  requests kept in a list, wildcard receives, cancellation; the feature
+  machinery costs high per-call software overhead (optimization B's
+  target).
+* :class:`repro.lwnb.api.LWNB` — the paper's lightweight layer: at most
+  one outstanding send and one outstanding receive, minimal overhead.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+import numpy as np
+
+from repro.hw.machine import CoreEnv, Machine
+from repro.rcce.api import RCCE, take_announcement
+from repro.sim.events import Interrupt
+from repro.sim.resources import FifoLock
+
+#: Wildcard source rank for :meth:`NonBlockingLayer.irecv` (iRCCE only).
+ANY = -1
+
+
+class RequestError(Exception):
+    """Invalid request usage (double cancel, too many outstanding, ...)."""
+
+
+class Request:
+    """Handle for one in-flight non-blocking operation."""
+
+    __slots__ = ("layer", "env", "kind", "peer", "nbytes", "proc",
+                 "completed_charged", "cancelled", "result")
+
+    def __init__(self, layer: "NonBlockingLayer", env: CoreEnv, kind: str,
+                 peer: int, nbytes: int):
+        self.layer = layer
+        self.env = env
+        self.kind = kind          # "send" | "recv"
+        self.peer = peer          # rank, or ANY
+        self.nbytes = nbytes
+        self.proc = None          # set by the layer after spawning
+        self.completed_charged = False
+        self.cancelled = False
+        self.result = None        # for wildcard recv: (src_rank, nbytes)
+
+    @property
+    def done(self) -> bool:
+        """True once the transfer sub-process has finished."""
+        return self.proc is not None and self.proc.triggered
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = ("cancelled" if self.cancelled
+                 else "done" if self.done else "pending")
+        return (f"<Request {self.kind} rank{self.env.rank}<->{self.peer} "
+                f"{self.nbytes}B {state}>")
+
+
+class NonBlockingLayer:
+    """Shared isend/irecv/test/wait/cancel machinery."""
+
+    #: Overridden by subclasses.
+    name = "nonblocking"
+    supports_wildcard = False
+    max_outstanding: Optional[int] = None  # per (core, kind); None = unlimited
+
+    def __init__(self, machine: Machine):
+        self.machine = machine
+        self._proto = RCCE(machine)  # reuse the Fig.-3 protocol bodies
+        self._outstanding: dict[tuple[int, str], int] = {}
+        # A core owns ONE MPB send buffer, so concurrent isends from the
+        # same core are processed strictly in issue order (as iRCCE does
+        # with its request queue).  Likewise, concurrent ireceives from
+        # the same source share one sent/ready flag pair and must drain
+        # the channel in issue order.
+        self._send_channel: dict[int, "FifoLock"] = {}
+        self._recv_channel: dict[tuple[int, int], "FifoLock"] = {}
+
+    def _send_lock(self, core_id: int) -> "FifoLock":
+        lock = self._send_channel.get(core_id)
+        if lock is None:
+            lock = self._send_channel[core_id] = FifoLock(
+                self.machine.sim, name=f"sendchan{core_id}")
+        return lock
+
+    def _recv_lock(self, dst_core: int, src_core: int) -> "FifoLock":
+        key = (dst_core, src_core)
+        lock = self._recv_channel.get(key)
+        if lock is None:
+            lock = self._recv_channel[key] = FifoLock(
+                self.machine.sim, name=f"recvchan{key}")
+        return lock
+
+    # -- overhead hooks (cycles), overridden per layer -------------------
+    def issue_cycles(self) -> int:
+        raise NotImplementedError
+
+    def complete_cycles(self) -> int:
+        raise NotImplementedError
+
+    def test_cycles(self) -> int:
+        raise NotImplementedError
+
+    # -- issuing ------------------------------------------------------------
+    def isend(self, env: CoreEnv, data: np.ndarray, dst: int) -> Generator:
+        """Start a non-blocking send; returns a :class:`Request`.
+
+        Usage: ``req = yield from layer.isend(env, data, dst)``.
+        """
+        if dst == env.rank:
+            raise RequestError("cannot isend to self")
+        self._admit(env, "send")
+        raw = np.ascontiguousarray(data).view(np.uint8).reshape(-1)
+        req = Request(self, env, "send", dst, int(raw.size))
+        yield from env.consume(
+            env.latency.core_cycles(self.issue_cycles()), "overhead")
+        req.proc = env.sim.process(
+            self._send_proc(env, req, raw, dst),
+            name=f"isend[{env.rank}->{dst}]")
+        return req
+
+    def irecv(self, env: CoreEnv, out: np.ndarray, src: int) -> Generator:
+        """Start a non-blocking receive into ``out``; returns a Request.
+
+        ``src`` may be :data:`ANY` on layers with wildcard support; the
+        matched sender and actual size are stored in ``request.result``.
+        """
+        if src == env.rank:
+            raise RequestError("cannot irecv from self")
+        if src == ANY and not self.supports_wildcard:
+            raise RequestError(
+                f"{self.name} does not support wildcard receives")
+        self._admit(env, "recv")
+        raw_out = out.view(np.uint8).reshape(-1)
+        req = Request(self, env, "recv", src, int(raw_out.size))
+        yield from env.consume(
+            env.latency.core_cycles(self.issue_cycles()), "overhead")
+        req.proc = env.sim.process(
+            self._recv_proc(env, req, raw_out, src),
+            name=f"irecv[{env.rank}<-{src}]")
+        return req
+
+    # -- completion -----------------------------------------------------------
+    def wait(self, env: CoreEnv, request: Request) -> Generator:
+        """Block until ``request`` finishes; charges completion overhead."""
+        if not request.done:
+            yield from env.core.wait(request.proc, "wait_request")
+        if request.proc.failed and not request.cancelled:
+            raise request.proc.value
+        if not request.completed_charged:
+            request.completed_charged = True
+            yield from env.consume(
+                env.latency.core_cycles(self.complete_cycles()), "overhead")
+        return request.result
+
+    def wait_all(self, env: CoreEnv, requests: list[Request]) -> Generator:
+        """Block until every request finishes (one synchronization point —
+        the per-round wait of the relaxed ring, Fig. 5)."""
+        pending = [r.proc for r in requests if not r.done]
+        if pending:
+            yield from env.core.wait(env.sim.all_of(pending), "wait_request")
+        for request in requests:
+            if request.proc.failed and not request.cancelled:
+                raise request.proc.value
+            if not request.completed_charged:
+                request.completed_charged = True
+                yield from env.consume(
+                    env.latency.core_cycles(self.complete_cycles()),
+                    "overhead")
+        return [r.result for r in requests]
+
+    def test(self, env: CoreEnv, request: Request) -> Generator:
+        """Non-blocking completion probe (``iRCCE_test``)."""
+        yield from env.consume(
+            env.latency.core_cycles(self.test_cycles()), "overhead")
+        return request.done
+
+    def cancel(self, env: CoreEnv, request: Request) -> Generator:
+        """Cancel a pending request (``iRCCE_cancel``).
+
+        Only safe while the request is unmatched (e.g. a speculative
+        receive no sender has satisfied); cancelling a matched transfer
+        raises.
+        """
+        if request.done:
+            raise RequestError("cannot cancel a completed request")
+        if request.cancelled:
+            raise RequestError("request already cancelled")
+        request.cancelled = True
+        request.proc.interrupt("cancelled")
+        yield from env.core.wait(request.proc, "wait_request")
+        self._retire(env, request.kind)
+
+    # -- sub-process bodies -------------------------------------------------
+    def _send_proc(self, env: CoreEnv, req: Request, raw: np.ndarray,
+                   dst: int) -> Generator:
+        tracer = self.machine.sim.tracer
+        lock = self._send_lock(env.core_id)
+        grant = lock.acquire()
+        try:
+            yield grant
+        except Interrupt:
+            lock.abandon(grant)
+            return None
+        tracer.emit(env.now, f"core{env.core_id}", "send.begin", dst)
+        try:
+            yield from self._proto._send_body(env, raw, dst)
+        except Interrupt:
+            return None
+        finally:
+            lock.release()
+        tracer.emit(env.now, f"core{env.core_id}", "send.end", dst)
+        self._retire(env, "send")
+        return None
+
+    def _recv_proc(self, env: CoreEnv, req: Request, raw_out: np.ndarray,
+                   src: int) -> Generator:
+        tracer = self.machine.sim.tracer
+        tracer.emit(env.now, f"core{env.core_id}", "recv.begin", src)
+        try:
+            if src == ANY:
+                src = yield from self._match_any(env, req)
+            lock = self._recv_lock(env.core_id, env.core_of_rank(src))
+            grant = lock.acquire()
+            try:
+                yield grant
+            except Interrupt:
+                lock.abandon(grant)
+                raise
+            try:
+                yield from self._proto._recv_body(
+                    env, raw_out[:req.nbytes], src)
+            finally:
+                lock.release()
+        except Interrupt:
+            return None
+        tracer.emit(env.now, f"core{env.core_id}", "recv.end", src)
+        self._retire(env, "recv")
+        return None
+
+    def _match_any(self, env: CoreEnv, req: Request) -> Generator:
+        """Wait for any sender's announcement; fixes peer and size."""
+        machine = self.machine
+        incoming = machine.flag(env.core_id, "p2p.incoming")
+        while True:
+            found = take_announcement(machine, env.core_id)
+            if found is not None:
+                src_core, nbytes = found
+                # Re-announce: _recv_body pops it again for its own chunk
+                # bookkeeping.  (Announcements are per-chunk; wildcard
+                # matching fixes only the first chunk's origin.)
+                from repro.rcce.api import announce_send
+                announce_send(machine, src_core, env.core_id, nbytes)
+                src_rank = env.rank_of_core(src_core)
+                req.peer = src_rank
+                req.nbytes = min(req.nbytes, nbytes)
+                req.result = (src_rank, req.nbytes)
+                return src_rank
+            yield from incoming.wait_set(env.core)
+
+    # -- outstanding accounting ----------------------------------------------
+    def _admit(self, env: CoreEnv, kind: str) -> None:
+        key = (env.core_id, kind)
+        count = self._outstanding.get(key, 0)
+        if self.max_outstanding is not None and count >= self.max_outstanding:
+            raise RequestError(
+                f"{self.name} allows at most {self.max_outstanding} "
+                f"outstanding {kind} request(s) per core"
+            )
+        self._outstanding[key] = count + 1
+
+    def _retire(self, env: CoreEnv, kind: str) -> None:
+        key = (env.core_id, kind)
+        self._outstanding[key] = max(0, self._outstanding.get(key, 0) - 1)

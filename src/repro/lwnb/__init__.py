@@ -1,0 +1,8 @@
+"""Lightweight non-blocking primitives — the paper's optimization B.
+
+See :mod:`repro.lwnb.api`.
+"""
+
+from repro.lwnb.api import LWNB
+
+__all__ = ["LWNB"]

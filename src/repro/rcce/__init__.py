@@ -1,0 +1,35 @@
+"""RCCE: the SCC's native lightweight message-passing library (blocking).
+
+This package reimplements the parts of RCCE v1.1.0 the paper builds on:
+
+* :mod:`repro.rcce.transfer` — the low-level ``RCCE_put``/``RCCE_get``
+  operations that move cache lines between private memory and MPBs,
+  including the padded-tail-line behaviour responsible for the period-4
+  latency spikes of Fig. 9.
+* :mod:`repro.rcce.api` — the blocking ``send``/``recv`` pair implementing
+  the doubly-synchronizing Fig.-3 flag protocol, message chunking through
+  the 8 KB MPB, and a master/worker barrier.
+* :mod:`repro.rcce.native` — RCCE's own naive collectives (serial-root
+  Broadcast and Reduce), kept as the related-work baseline that tree-based
+  algorithms beat by >20x / >6x.
+"""
+
+from repro.rcce.api import RCCE, RCCEError
+from repro.rcce.gory import FlagHandle, GoryError, GoryRCCE, SymmetricBuffer
+from repro.rcce.native import native_allreduce, native_bcast, native_reduce
+from repro.rcce.transfer import get_bytes, put_bytes, putget_calls
+
+__all__ = [
+    "FlagHandle",
+    "GoryError",
+    "GoryRCCE",
+    "RCCE",
+    "RCCEError",
+    "SymmetricBuffer",
+    "get_bytes",
+    "native_allreduce",
+    "native_bcast",
+    "native_reduce",
+    "put_bytes",
+    "putget_calls",
+]

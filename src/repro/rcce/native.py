@@ -1,0 +1,75 @@
+"""RCCE's own naive collectives (Section III, related work).
+
+RCCE ships very basic Broadcast and (All-)Reduce implementations in which
+the root communicates with the remaining cores *serially*, and for Reduce
+the root performs all reduction arithmetic alone.  They "do not use the
+available parallelism and suffer from both high latency and low
+efficiency" — the tree-based alternatives of [8]/[9] beat them by factors
+of >20x (Broadcast) and >6x (Reduce).  We keep them as baselines for the
+tree ablation benchmark.
+
+All functions are SPMD generators: every rank calls the same function.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Generator, Optional
+
+import numpy as np
+
+from repro.hw.machine import CoreEnv
+from repro.rcce.api import RCCE
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    # Imported lazily at runtime: repro.core pulls in the non-blocking
+    # layers, which import this package (rcce) for the shared protocol.
+    from repro.core.ops import ReduceOp
+
+
+def _sum_op() -> "ReduceOp":
+    from repro.core.ops import SUM
+    return SUM
+
+
+def native_bcast(rcce: RCCE, env: CoreEnv, buf: np.ndarray,
+                 root: int = 0) -> Generator:
+    """Serial broadcast: root sends the whole buffer to each rank in turn."""
+    if env.rank == root:
+        for rank in range(env.size):
+            if rank != root:
+                yield from rcce.send(env, buf, rank)
+    else:
+        yield from rcce.recv(env, buf, root)
+    return buf
+
+
+def native_reduce(rcce: RCCE, env: CoreEnv, sendbuf: np.ndarray,
+                  op: Optional["ReduceOp"] = None,
+                  root: int = 0) -> Generator:
+    """Serial reduce: root receives every rank's vector and reduces alone."""
+    op = op if op is not None else _sum_op()
+    if env.rank == root:
+        acc = sendbuf.copy()
+        tmp = np.empty_like(sendbuf)
+        for rank in range(env.size):
+            if rank == root:
+                continue
+            yield from rcce.recv(env, tmp, rank)
+            yield from env.consume(
+                env.latency.reduce_doubles(acc.size), "compute")
+            acc = op(acc, tmp)
+        return acc
+    yield from rcce.send(env, sendbuf, root)
+    return None
+
+
+def native_allreduce(rcce: RCCE, env: CoreEnv, sendbuf: np.ndarray,
+                     op: Optional["ReduceOp"] = None,
+                     root: int = 0) -> Generator:
+    """RCCE-style Allreduce: serial Reduce followed by serial Broadcast."""
+    op = op if op is not None else _sum_op()
+    reduced = yield from native_reduce(rcce, env, sendbuf, op, root)
+    if env.rank != root:
+        reduced = np.empty_like(sendbuf)
+    yield from native_bcast(rcce, env, reduced, root)
+    return reduced

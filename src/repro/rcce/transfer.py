@@ -1,0 +1,68 @@
+"""Low-level RCCE put/get: cache-line-granular MPB transfers.
+
+RCCE moves data by writing whole L1 cache lines (32 B) of the local core
+into an MPB through the write-combining buffer.  A message whose size is
+not a multiple of the line size cannot be transferred in one streaming
+call: the full lines go in one invocation and the padded tail line requires
+**a second call** to the low-level transfer function (paper Section V-A).
+Each invocation costs ``rcce_putget_call_cycles`` of software overhead —
+this is the mechanistic origin of the period-4-doubles latency spikes in
+Fig. 9.
+
+These functions charge the acting core and move real bytes; they are shared
+by the blocking layer, both non-blocking layers and the collectives.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+import numpy as np
+
+from repro.hw.machine import CoreEnv
+from repro.hw.mpb import MPBRegion
+
+
+def putget_calls(nbytes: int, line_bytes: int) -> int:
+    """Number of low-level transfer invocations for an ``nbytes`` message:
+    one streaming call for the full lines plus one for a padded tail."""
+    if nbytes < 0:
+        raise ValueError(f"negative byte count: {nbytes}")
+    if nbytes == 0:
+        return 0
+    full, tail = divmod(nbytes, line_bytes)
+    calls = 0
+    if full:
+        calls += 1
+    if tail:
+        calls += 1
+    return calls
+
+
+def _call_overhead(env: CoreEnv, nbytes: int) -> int:
+    cfg = env.config
+    calls = putget_calls(nbytes, cfg.l1_line_bytes)
+    return env.latency.core_cycles(calls * cfg.rcce_putget_call_cycles)
+
+
+def put_bytes(env: CoreEnv, region: MPBRegion, raw: np.ndarray,
+              at: int = 0) -> Generator:
+    """``RCCE_put``: copy ``raw`` (uint8) from private memory into an MPB
+    region, charging software call overhead plus the hardware copy cost.
+    When MPB port contention is modeled, the copy burst holds the target
+    MPB's port."""
+    nbytes = int(raw.size)
+    cost = (_call_overhead(env, nbytes)
+            + env.latency.mpb_write_bytes(env.core_id, region.owner, nbytes))
+    yield from env.core.consume_at_mpb(region.owner, cost, "copy")
+    region.write(raw, at=at)
+
+
+def get_bytes(env: CoreEnv, region: MPBRegion, nbytes: int,
+              at: int = 0) -> Generator:
+    """``RCCE_get``: copy ``nbytes`` out of an MPB region into private
+    memory.  Returns the bytes as a fresh uint8 array."""
+    cost = (_call_overhead(env, nbytes)
+            + env.latency.mpb_read_bytes(env.core_id, region.owner, nbytes))
+    yield from env.core.consume_at_mpb(region.owner, cost, "copy")
+    return region.read(nbytes, at=at)

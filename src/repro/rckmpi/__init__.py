@@ -1,0 +1,15 @@
+"""RCKMPI: the MPICH-based full MPI implementation for the SCC (Section III).
+
+Modeled at the channel level: an eager, packetized MPB channel with heavy
+per-call and per-packet software overhead, byte-granular transfers (no
+cache-line padding, hence the *smooth* curves of Fig. 9), and bounded
+channel windows.  Its collectives reuse the same MPICH-family algorithms
+as RCCE_comm (ring ReduceScatter/Allgather, binomial trees, pairwise
+Alltoall) — the 2x–5x latency gap to the RCCE-based stacks comes from the
+stack's software weight, not the algorithm shapes.
+"""
+
+from repro.rckmpi.api import RCKMPICommunicator
+from repro.rckmpi.channel import RCKMPIP2P
+
+__all__ = ["RCKMPICommunicator", "RCKMPIP2P"]

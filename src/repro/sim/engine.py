@@ -1,0 +1,131 @@
+"""The discrete-event loop.
+
+Time is an integer count of picoseconds.  The heap holds ``(time, seq,
+event)`` entries; ``seq`` is a monotonically increasing insertion counter
+that makes simultaneous events process in a deterministic order.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Generator, Iterable, Optional
+
+from repro.sim.errors import DeadlockError, SimulationError
+from repro.sim.events import AllOf, AnyOf, Event, Gate, Timeout
+from repro.sim.process import Process
+from repro.sim.trace import Tracer
+
+
+class Simulator:
+    """Deterministic discrete-event simulator.
+
+    Example
+    -------
+    >>> sim = Simulator()
+    >>> def hello(sim):
+    ...     yield sim.timeout(1000)
+    ...     return sim.now
+    >>> proc = sim.process(hello(sim))
+    >>> sim.run()
+    1000
+    >>> proc.value
+    1000
+    """
+
+    def __init__(self, tracer: Optional[Tracer] = None):
+        self._heap: list[tuple[int, int, Event]] = []
+        self._now: int = 0
+        self._seq: int = 0
+        self._processes: dict[int, Process] = {}
+        self.tracer = tracer if tracer is not None else Tracer(enabled=False)
+
+    # -- time ------------------------------------------------------------
+    @property
+    def now(self) -> int:
+        """Current simulated time in picoseconds."""
+        return self._now
+
+    # -- event construction ------------------------------------------------
+    def event(self) -> Event:
+        return Event(self)
+
+    def timeout(self, delay: int, value: Any = None) -> Timeout:
+        return Timeout(self, int(delay), value)
+
+    def gate(self, value: bool = False, name: str = "") -> Gate:
+        return Gate(self, value, name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    def process(self, generator: Generator, name: str = "") -> Process:
+        """Register a generator as a simulated process, started at `now`."""
+        proc = Process(self, generator, name=name)
+        self._processes[id(proc)] = proc
+        proc.add_callback(lambda _e: self._processes.pop(id(proc), None))
+        return proc
+
+    # -- scheduling (kernel internal) ---------------------------------------
+    def _schedule(self, event: Event, delay: int = 0) -> None:
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        heapq.heappush(self._heap, (self._now + delay, self._seq, event))
+        self._seq += 1
+
+    # -- running ----------------------------------------------------------
+    def step(self) -> None:
+        """Process exactly one event from the heap."""
+        when, _seq, event = heapq.heappop(self._heap)
+        if when < self._now:  # pragma: no cover - defensive
+            raise SimulationError("event heap time went backwards")
+        self._now = when
+        event._process()
+
+    def run(self, until: Optional[int] = None, *, check_deadlock: bool = True) -> int:
+        """Run until the heap drains (or simulated time passes ``until``).
+
+        Returns the final simulated time.  If the heap drains while
+        registered processes are still alive, a :class:`DeadlockError` is
+        raised (unless ``check_deadlock=False``).
+        """
+        while self._heap:
+            when = self._heap[0][0]
+            if until is not None and when > until:
+                self._now = until
+                return self._now
+            self.step()
+        if until is not None:
+            # The horizon is authoritative: the clock advances to it even
+            # if no event was left to carry it there.
+            self._now = max(self._now, until)
+            return self._now
+        if check_deadlock:
+            waiting = [p.name or repr(p) for p in self._processes.values()
+                       if not p.triggered]
+            if waiting:
+                raise DeadlockError(waiting)
+        return self._now
+
+    def run_until_processes(self, processes: Iterable[Process]) -> int:
+        """Run until every process in ``processes`` has completed."""
+        target = AllOf(self, list(processes))
+        while not target.processed:
+            if not self._heap:
+                waiting = [p.name or repr(p) for p in self._processes.values()
+                           if not p.triggered]
+                raise DeadlockError(waiting or ["<unknown>"])
+            self.step()
+        if target.failed:
+            raise target.value
+        return self._now
+
+    @property
+    def pending_events(self) -> int:
+        return len(self._heap)
+
+    @property
+    def live_processes(self) -> list[Process]:
+        return [p for p in self._processes.values() if not p.triggered]

@@ -1,0 +1,33 @@
+"""Exception types raised by the simulation kernel."""
+
+from __future__ import annotations
+
+
+class SimulationError(Exception):
+    """Base class for all kernel-level errors."""
+
+
+class DeadlockError(SimulationError):
+    """The event heap drained while processes were still waiting.
+
+    This is a *first-class* outcome in this project: the paper's Section IV-A
+    explains that RCCE's doubly-synchronizing blocking primitives deadlock in
+    a cyclic ring exchange unless send/receive calls are ordered in the
+    odd-even pattern.  The simulator detects that situation exactly — an
+    un-ordered blocking ring raises :class:`DeadlockError`, and the test
+    suite asserts it does.
+    """
+
+    def __init__(self, waiting: list[str]):
+        self.waiting = list(waiting)
+        preview = ", ".join(self.waiting[:8])
+        if len(self.waiting) > 8:
+            preview += f", ... ({len(self.waiting)} total)"
+        super().__init__(
+            f"simulation deadlocked with {len(self.waiting)} process(es) "
+            f"still waiting: {preview}"
+        )
+
+
+class StaleEventError(SimulationError):
+    """An event was triggered (succeed/fail) more than once."""

@@ -1,0 +1,271 @@
+"""One-shot waitable events and level-triggered gates.
+
+An :class:`Event` is a one-shot condition a :class:`~repro.sim.process.Process`
+can wait on by ``yield``-ing it.  Events carry a value (delivered to the
+waiting generator via ``send``) or an exception (delivered via ``throw``).
+
+A :class:`Gate` is a *level*-triggered boolean used to model the SCC's MPB
+synchronization flags: it can be set and cleared repeatedly, and hands out
+fresh one-shot events to processes that want to wait for a particular level.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Optional
+
+from repro.sim.errors import StaleEventError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.engine import Simulator
+
+_PENDING = object()
+
+
+class Interrupt(Exception):
+    """Thrown into a process that is interrupted while waiting.
+
+    Used by the iRCCE layer to implement request cancellation
+    (``iRCCE_cancel``): the transfer sub-process waiting for a flag is
+    interrupted and unwinds cleanly.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A one-shot waitable condition.
+
+    Lifecycle: *pending* → (``succeed`` | ``fail``) → *triggered* →
+    (scheduled on the event heap) → *processed* (callbacks ran, waiters
+    resumed).
+    """
+
+    __slots__ = ("sim", "callbacks", "_value", "_failed", "triggered", "processed")
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        self.callbacks: Optional[list[Callable[["Event"], None]]] = []
+        self._value: Any = _PENDING
+        self._failed = False
+        self.triggered = False
+        self.processed = False
+
+    # -- inspection ----------------------------------------------------
+    @property
+    def value(self) -> Any:
+        if self._value is _PENDING:
+            raise AttributeError("event value is not yet available")
+        return self._value
+
+    @property
+    def ok(self) -> bool:
+        """True once the event succeeded (as opposed to failed)."""
+        return self.triggered and not self._failed
+
+    @property
+    def failed(self) -> bool:
+        return self.triggered and self._failed
+
+    # -- triggering ----------------------------------------------------
+    def succeed(self, value: Any = None, delay: int = 0) -> "Event":
+        """Mark the event successful; waiters resume ``delay`` ps later."""
+        if self.triggered:
+            raise StaleEventError(f"{self!r} has already been triggered")
+        self.triggered = True
+        self._value = value
+        self.sim._schedule(self, delay)
+        return self
+
+    def fail(self, exception: BaseException, delay: int = 0) -> "Event":
+        """Mark the event failed; the exception is thrown into waiters."""
+        if self.triggered:
+            raise StaleEventError(f"{self!r} has already been triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        self.triggered = True
+        self._failed = True
+        self._value = exception
+        self.sim._schedule(self, delay)
+        return self
+
+    def add_callback(self, callback: Callable[["Event"], None]) -> None:
+        """Register ``callback(event)`` to run when the event is processed.
+
+        If the event has already been processed the callback runs
+        immediately (synchronously) — this is what makes waiting on an
+        already-completed request a no-op in simulated time.
+        """
+        if self.callbacks is None:
+            callback(self)
+        else:
+            self.callbacks.append(callback)
+
+    def _process(self) -> None:
+        callbacks, self.callbacks = self.callbacks, None
+        self.processed = True
+        if callbacks:
+            for callback in callbacks:
+                callback(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "processed" if self.processed else (
+            "triggered" if self.triggered else "pending"
+        )
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` picoseconds after creation."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, sim: "Simulator", delay: int, value: Any = None):
+        if delay < 0:
+            raise ValueError(f"negative timeout delay: {delay}")
+        super().__init__(sim)
+        self.delay = delay
+        self.triggered = True
+        self._value = value
+        sim._schedule(self, delay)
+
+
+class ConditionValue:
+    """Result of an :class:`AnyOf`/:class:`AllOf`: maps events to values."""
+
+    __slots__ = ("events",)
+
+    def __init__(self, events: list[Event]):
+        self.events = events
+
+    def __contains__(self, event: Event) -> bool:
+        return event in self.events
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def values(self) -> list[Any]:
+        return [e.value for e in self.events]
+
+
+class _Condition(Event):
+    """Common machinery for AnyOf / AllOf composite events."""
+
+    __slots__ = ("events", "_count")
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        super().__init__(sim)
+        self.events = list(events)
+        for event in self.events:
+            if event.sim is not sim:
+                raise ValueError("cannot mix events from different simulators")
+        self._count = 0
+        if not self.events:
+            self.succeed(ConditionValue([]))
+            return
+        for event in self.events:
+            event.add_callback(self._on_child)
+
+    def _on_child(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if event.failed:
+            self.fail(event._value)
+            return
+        self._count += 1
+        if self._satisfied():
+            done = [e for e in self.events if e.processed and e.ok]
+            self.succeed(ConditionValue(done))
+
+    def _satisfied(self) -> bool:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class AllOf(_Condition):
+    """Fires when *all* child events have fired (any failure propagates)."""
+
+    __slots__ = ()
+
+    def _satisfied(self) -> bool:
+        return self._count == len(self.events)
+
+
+class AnyOf(_Condition):
+    """Fires when *any* child event has fired."""
+
+    __slots__ = ()
+
+    def _satisfied(self) -> bool:
+        return self._count >= 1
+
+
+class Gate:
+    """A level-triggered boolean flag with waiters.
+
+    Models an MPB synchronization flag.  ``set()``/``clear()`` change the
+    level; ``wait_true()``/``wait_false()`` return one-shot events that fire
+    when the flag reaches the requested level (immediately, if it is already
+    there).  An optional ``notify_delay`` models the time between the flag
+    being written by one core and the polling core observing the new value.
+    """
+
+    __slots__ = ("sim", "name", "_value", "_true_waiters", "_false_waiters")
+
+    def __init__(self, sim: "Simulator", value: bool = False, name: str = ""):
+        self.sim = sim
+        self.name = name
+        self._value = bool(value)
+        self._true_waiters: list[tuple[Event, int]] = []
+        self._false_waiters: list[tuple[Event, int]] = []
+
+    @property
+    def value(self) -> bool:
+        return self._value
+
+    def set(self) -> None:
+        if not self._value:
+            self._value = True
+            waiters, self._true_waiters = self._true_waiters, []
+            for event, extra in waiters:
+                event.succeed(True, delay=extra)
+
+    def clear(self) -> None:
+        if self._value:
+            self._value = False
+            waiters, self._false_waiters = self._false_waiters, []
+            for event, extra in waiters:
+                event.succeed(False, delay=extra)
+
+    def toggle(self) -> None:
+        if self._value:
+            self.clear()
+        else:
+            self.set()
+
+    def wait_true(self, notify_delay: int = 0) -> Event:
+        """Event firing when the flag is (or becomes) set.
+
+        ``notify_delay`` ps are added between the level change and the
+        waiter resuming (models the final successful poll's read latency).
+        """
+        event = Event(self.sim)
+        if self._value:
+            event.succeed(True, delay=notify_delay)
+        else:
+            self._true_waiters.append((event, notify_delay))
+        return event
+
+    def wait_false(self, notify_delay: int = 0) -> Event:
+        event = Event(self.sim)
+        if not self._value:
+            event.succeed(False, delay=notify_delay)
+        else:
+            self._false_waiters.append((event, notify_delay))
+        return event
+
+    def wait_level(self, level: bool, notify_delay: int = 0) -> Event:
+        return self.wait_true(notify_delay) if level else self.wait_false(notify_delay)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Gate {self.name or id(self):#x} value={self._value}>"

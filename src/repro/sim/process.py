@@ -1,0 +1,96 @@
+"""Generator-backed simulated processes."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Generator
+
+from repro.sim.errors import SimulationError
+from repro.sim.events import Event, Interrupt
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.engine import Simulator
+
+
+class Process(Event):
+    """A simulated thread of control.
+
+    A process wraps a generator.  Each value the generator yields must be an
+    :class:`Event`; the process suspends until that event fires, at which
+    point the event's value is sent back into the generator (or its
+    exception thrown in).  The process itself is an event that fires with
+    the generator's return value, so processes can wait on each other.
+
+    ``interrupt()`` abandons the current wait and throws
+    :class:`~repro.sim.events.Interrupt` into the generator.  A wait is
+    identified by an epoch counter, so a wakeup from an abandoned event is
+    recognised as stale and ignored even if it fires at the same simulated
+    instant as the interrupt.
+    """
+
+    __slots__ = ("generator", "name", "_epoch", "_waiting")
+
+    def __init__(self, sim: "Simulator", generator: Generator, name: str = ""):
+        if not hasattr(generator, "send") or not hasattr(generator, "throw"):
+            raise TypeError(
+                f"Process requires a generator, got {type(generator).__name__} "
+                "(did you call the function instead of passing its generator?)"
+            )
+        super().__init__(sim)
+        self.generator = generator
+        self.name = name or getattr(generator, "__name__", "") or "process"
+        self._epoch = 0
+        self._waiting = False
+        # Bootstrap: resume once at the current instant.
+        self._wait_on(Event(sim).succeed())
+
+    @property
+    def is_alive(self) -> bool:
+        return not self.triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current instant."""
+        if self.triggered:
+            raise SimulationError(f"cannot interrupt completed process {self.name}")
+        if not self._waiting:
+            raise SimulationError(
+                f"cannot interrupt process {self.name} that is not waiting"
+            )
+        self._epoch += 1  # invalidate the abandoned wait
+        kick = Event(self.sim)
+        kick.fail(Interrupt(cause))
+        self._wait_on(kick)
+
+    def _wait_on(self, event: Event) -> None:
+        self._waiting = True
+        epoch = self._epoch
+        event.add_callback(lambda ev: self._resume(ev, epoch))
+
+    def _resume(self, event: Event, epoch: int) -> None:
+        if self.triggered or epoch != self._epoch:
+            return  # stale wakeup from an abandoned wait
+        self._epoch += 1
+        self._waiting = False
+        try:
+            if event.failed:
+                next_event = self.generator.throw(event._value)
+            else:
+                next_event = self.generator.send(
+                    event._value if event._value is not None else None
+                )
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:
+            self.fail(exc)
+            return
+        if not isinstance(next_event, Event):
+            self.fail(SimulationError(
+                f"process {self.name!r} yielded {next_event!r}; "
+                "processes may only yield Event instances"
+            ))
+            return
+        self._wait_on(next_event)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "done" if self.triggered else "alive"
+        return f"<Process {self.name} {state}>"

@@ -1,0 +1,127 @@
+"""Shared-resource primitives built on events.
+
+Only one is needed by this project: :class:`FifoLock`, a strict-FIFO mutex.
+It models a core's single execution unit: non-blocking communication
+requests are sub-processes of a core, and every slice of *core time* they
+consume (copies, reduction arithmetic, software overhead) must hold the
+core's lock so that two requests — or a request and the core's main
+program — never consume the same cycles twice.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Generator
+
+from repro.sim.errors import SimulationError
+from repro.sim.events import Event
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.engine import Simulator
+
+
+class FifoLock:
+    """A mutex granting access in strict request order."""
+
+    __slots__ = ("sim", "name", "_locked", "_queue")
+
+    def __init__(self, sim: "Simulator", name: str = ""):
+        self.sim = sim
+        self.name = name
+        self._locked = False
+        self._queue: deque[Event] = deque()
+
+    @property
+    def locked(self) -> bool:
+        return self._locked
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._queue)
+
+    def acquire(self) -> Event:
+        """Event that fires when the caller holds the lock."""
+        event = Event(self.sim)
+        if not self._locked and not self._queue:
+            self._locked = True
+            event.succeed()
+        else:
+            self._queue.append(event)
+        return event
+
+    def try_acquire(self) -> bool:
+        """Take the lock synchronously if free (hot-path optimization)."""
+        if not self._locked and not self._queue:
+            self._locked = True
+            return True
+        return False
+
+    def abandon(self, event: Event) -> None:
+        """Back out of an :meth:`acquire` that may or may not have been
+        granted yet (used when the waiting process is interrupted).
+
+        If the event is still queued it is removed; if the grant already
+        fired, the lock is released on the abandoner's behalf.
+        """
+        try:
+            self._queue.remove(event)
+            return
+        except ValueError:
+            pass
+        if event.triggered:
+            self.release()
+
+    def release(self) -> None:
+        if not self._locked:
+            raise SimulationError(f"release of unlocked FifoLock {self.name!r}")
+        if self._queue:
+            self._queue.popleft().succeed()
+        else:
+            self._locked = False
+
+    def holding(self, duration_ps: int) -> Generator:
+        """Acquire, hold for ``duration_ps``, release.  Use via ``yield from``."""
+        yield self.acquire()
+        try:
+            if duration_ps > 0:
+                yield self.sim.timeout(duration_ps)
+        finally:
+            self.release()
+
+
+class Semaphore:
+    """A counting semaphore with FIFO wakeup.
+
+    Models bounded channel capacity (the RCKMPI MPB channel's packet
+    window): senders ``acquire()`` a slot per packet, the receiver
+    ``release()``s it after draining.
+    """
+
+    __slots__ = ("sim", "name", "_count", "_queue")
+
+    def __init__(self, sim: "Simulator", initial: int, name: str = ""):
+        if initial < 0:
+            raise ValueError(f"negative initial semaphore count: {initial}")
+        self.sim = sim
+        self.name = name
+        self._count = initial
+        self._queue: deque[Event] = deque()
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    def acquire(self) -> Event:
+        event = Event(self.sim)
+        if self._count > 0 and not self._queue:
+            self._count -= 1
+            event.succeed()
+        else:
+            self._queue.append(event)
+        return event
+
+    def release(self) -> None:
+        if self._queue:
+            self._queue.popleft().succeed()
+        else:
+            self._count += 1

@@ -1,0 +1,6 @@
+"""Cross-cutting utilities: timeline rendering, table helpers."""
+
+from repro.util.tables import format_table
+from repro.util.timeline import Timeline, render_accounts_bar
+
+__all__ = ["Timeline", "format_table", "render_accounts_bar"]

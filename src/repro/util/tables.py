@@ -1,0 +1,36 @@
+"""Plain-text table rendering (no third-party dependencies)."""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[Any]],
+                 *, float_fmt: str = "{:.2f}") -> str:
+    """Render a right-aligned fixed-width table.
+
+    Floats are formatted with ``float_fmt``; everything else with
+    ``str``.  Column widths adapt to the content.
+    """
+    def cell(value: Any) -> str:
+        if isinstance(value, float):
+            return float_fmt.format(value)
+        return str(value)
+
+    str_rows = [[cell(v) for v in row] for row in rows]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells; expected {len(headers)}")
+    widths = [
+        max(len(str(headers[i])), *(len(r[i]) for r in str_rows))
+        if str_rows else len(str(headers[i]))
+        for i in range(len(headers))
+    ]
+    header = "  ".join(str(h).rjust(w) for h, w in zip(headers, widths))
+    rule = "-" * len(header)
+    body = [
+        "  ".join(c.rjust(w) for c, w in zip(row, widths))
+        for row in str_rows
+    ]
+    return "\n".join([header, rule, *body])

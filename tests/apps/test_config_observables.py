@@ -1,0 +1,106 @@
+"""Unit tests for the GCMC config and observables."""
+
+import pytest
+
+from repro.apps.gcmc.config import GCMCConfig
+from repro.apps.gcmc.observables import Observables
+
+
+class TestConfig:
+    def test_defaults_valid(self):
+        cfg = GCMCConfig()
+        assert cfg.n_kvectors == 276  # the paper's coefficient count
+        assert cfg.beta == pytest.approx(1.0 / cfg.temperature)
+        assert cfg.volume == pytest.approx(cfg.box ** 3)
+
+    def test_copy_overrides(self):
+        cfg = GCMCConfig().copy(temperature=2.0)
+        assert cfg.temperature == 2.0
+        assert GCMCConfig().temperature != 2.0
+
+    @pytest.mark.parametrize("bad", [
+        {"box": -1.0},
+        {"temperature": 0.0},
+        {"cutoff": 100.0},
+        {"initial_particles": 10_000},
+        {"p_insert": 0.6, "p_delete": 0.5},
+        {"n_kvectors": 0},
+    ])
+    def test_invalid_rejected(self, bad):
+        with pytest.raises(ValueError):
+            GCMCConfig(**bad)
+
+
+class TestObservables:
+    def test_empty(self):
+        obs = Observables()
+        assert obs.mean_energy == 0.0
+        assert obs.acceptance_ratio == 0.0
+        assert obs.energy_variance == 0.0
+
+    def test_running_means(self):
+        obs = Observables()
+        obs.record(-10.0, 5, "TRANSLATE", True)
+        obs.record(-20.0, 7, "INSERT", False)
+        assert obs.samples == 2
+        assert obs.mean_energy == -15.0
+        assert obs.mean_particles == 6.0
+        assert obs.acceptance_ratio == 0.5
+
+    def test_variance(self):
+        obs = Observables()
+        for e in (1.0, 3.0):
+            obs.record(e, 1, "TRANSLATE", True)
+        assert obs.energy_variance == pytest.approx(1.0)
+
+    def test_by_action_counters(self):
+        obs = Observables()
+        obs.record(0.0, 1, "INSERT", True)
+        obs.record(0.0, 1, "INSERT", False)
+        assert obs.by_action["INSERT"] == {"tried": 2, "accepted": 1}
+
+    def test_summary_keys(self):
+        obs = Observables()
+        obs.record(1.0, 2, "DELETE", True)
+        summary = obs.summary()
+        assert {"samples", "mean_energy", "energy_variance",
+                "mean_particles", "acceptance_ratio",
+                "by_action"} <= set(summary)
+
+
+class TestBlockAveraging:
+    def _filled(self, values):
+        obs = Observables()
+        for v in values:
+            obs.record(v, 1, "TRANSLATE", True)
+        return obs
+
+    def test_constant_series_zero_error(self):
+        obs = self._filled([5.0] * 12)
+        mean, err = obs.block_average(3)
+        assert mean == 5.0
+        assert err == 0.0
+
+    def test_mean_matches_full_mean_when_blocks_tile(self):
+        values = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0]
+        obs = self._filled(values)
+        mean, err = obs.block_average(2)
+        assert mean == pytest.approx(3.5)
+        assert err > 0
+
+    def test_trailing_partial_block_dropped(self):
+        obs = self._filled([1.0, 1.0, 1.0, 99.0])
+        mean, _ = obs.block_average(3)
+        assert mean == 1.0
+
+    def test_single_block_zero_error(self):
+        obs = self._filled([1.0, 2.0])
+        mean, err = obs.block_average(2)
+        assert mean == 1.5 and err == 0.0
+
+    def test_invalid_block_sizes(self):
+        obs = self._filled([1.0])
+        with pytest.raises(ValueError):
+            obs.block_average(0)
+        with pytest.raises(ValueError):
+            obs.block_average(5)

@@ -1,0 +1,123 @@
+"""Unit tests for GCMC moves and acceptance rules."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.apps.gcmc.config import GCMCConfig
+from repro.apps.gcmc.moves import (
+    Action,
+    Proposal,
+    acceptance_probability,
+    choose_action,
+    choose_slot,
+    propose_insertion,
+    propose_translation,
+)
+
+
+@pytest.fixture
+def cfg():
+    return GCMCConfig(initial_particles=16, capacity=32, box=6.0)
+
+
+class TestChoices:
+    def test_action_distribution(self, cfg):
+        rng = np.random.default_rng(1)
+        actions = [choose_action(cfg, rng, 100) for _ in range(4000)]
+        fractions = {a: actions.count(a) / len(actions) for a in Action}
+        assert fractions[Action.INSERT] == pytest.approx(cfg.p_insert,
+                                                         abs=0.03)
+        assert fractions[Action.DELETE] == pytest.approx(cfg.p_delete,
+                                                         abs=0.03)
+
+    def test_no_delete_of_last_particle(self, cfg):
+        rng = np.random.default_rng(2)
+        actions = {choose_action(cfg, rng, 1) for _ in range(500)}
+        assert Action.DELETE not in actions
+
+    def test_choose_slot_uniform_over_active(self):
+        rng = np.random.default_rng(3)
+        active = np.array([2, 5, 11])
+        seen = {choose_slot(rng, active) for _ in range(200)}
+        assert seen == {2, 5, 11}
+
+
+class TestProposals:
+    def test_translation_within_box(self, cfg):
+        rng = np.random.default_rng(4)
+        for _ in range(50):
+            pos = propose_translation(cfg, rng, np.array([0.1, 5.9, 3.0]))
+            assert np.all(pos >= 0) and np.all(pos < cfg.box)
+
+    def test_translation_bounded_step(self, cfg):
+        rng = np.random.default_rng(5)
+        old = np.array([3.0, 3.0, 3.0])
+        for _ in range(50):
+            new = propose_translation(cfg, rng, old)
+            assert np.all(np.abs(new - old) <= cfg.max_displacement + 1e-12)
+
+    def test_insertion_neutralizes(self, cfg):
+        rng = np.random.default_rng(6)
+        _, charge = propose_insertion(cfg, rng, net_charge=1.0)
+        assert charge == -1.0
+        _, charge = propose_insertion(cfg, rng, net_charge=-1.0)
+        assert charge == 1.0
+
+
+class TestAcceptance:
+    def test_downhill_translation_always_accepted(self, cfg):
+        assert acceptance_probability(cfg, Action.TRANSLATE, 10, -1.0) == 1.0
+
+    def test_uphill_translation_boltzmann(self, cfg):
+        p = acceptance_probability(cfg, Action.TRANSLATE, 10, 2.0)
+        assert p == pytest.approx(math.exp(-cfg.beta * 2.0))
+
+    def test_probability_bounded(self, cfg):
+        for action in Action:
+            for de in (-5.0, 0.0, 5.0):
+                p = acceptance_probability(cfg, action, 20, de)
+                assert 0.0 <= p <= 1.0
+
+    def test_insert_favoured_by_high_mu(self):
+        lo = GCMCConfig(mu=-10.0)
+        hi = GCMCConfig(mu=+2.0)
+        p_lo = acceptance_probability(lo, Action.INSERT, 50, 0.0)
+        p_hi = acceptance_probability(hi, Action.INSERT, 50, 0.0)
+        assert p_hi > p_lo
+
+    def test_delete_favoured_by_low_mu(self):
+        lo = GCMCConfig(mu=-10.0)
+        hi = GCMCConfig(mu=+2.0)
+        p_lo = acceptance_probability(lo, Action.DELETE, 50, 0.0)
+        p_hi = acceptance_probability(hi, Action.DELETE, 50, 0.0)
+        assert p_lo > p_hi
+
+    @pytest.mark.parametrize("de", [-3.0, 0.0, 2.0, 6.0])
+    @pytest.mark.parametrize("n", [5, 30, 200])
+    def test_detailed_balance_insert_delete(self, cfg, de, n):
+        """Metropolis detailed balance: with a = V/(N+1) e^(b mu - b dE),
+        the insert move N->N+1 has p = min(1, a) and the reverse delete
+        N+1->N has p = min(1, 1/a), so p_ins / p_del == a exactly."""
+        p_ins = acceptance_probability(cfg, Action.INSERT, n, de)
+        p_del = acceptance_probability(cfg, Action.DELETE, n + 1, -de)
+        a = (cfg.volume / (n + 1)) * math.exp(cfg.beta * cfg.mu
+                                              - cfg.beta * de)
+        assert p_ins / p_del == pytest.approx(a, rel=1e-12)
+
+
+class TestProposalWire:
+    def test_pack_unpack_roundtrip(self):
+        p = Proposal(Action.INSERT, 7, np.array([1.5, 2.5, 3.5]), -1.0)
+        q = Proposal.unpack(p.pack())
+        assert q.action == Action.INSERT
+        assert q.slot == 7
+        assert np.array_equal(q.position, p.position)
+        assert q.charge == -1.0
+
+    def test_wire_is_six_doubles(self):
+        p = Proposal(Action.TRANSLATE, 0, np.zeros(3), 0.0)
+        wire = p.pack()
+        assert wire.shape == (6,)
+        assert wire.dtype == np.float64

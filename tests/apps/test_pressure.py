@@ -1,0 +1,106 @@
+"""Unit tests for the virial-route pressure observable."""
+
+import numpy as np
+import pytest
+
+from repro.apps.gcmc.config import GCMCConfig
+from repro.apps.gcmc.particles import ParticleSystem
+from repro.apps.gcmc.shortrange import (
+    measure_pressure,
+    pair_virial_with_set,
+    total_virial,
+)
+
+
+def empty_system(box=10.0, **over):
+    cfg = GCMCConfig(initial_particles=0, capacity=16, box=box, **over)
+    return ParticleSystem(cfg)
+
+
+class TestPairVirial:
+    def test_empty_set(self):
+        system = empty_system()
+        assert pair_virial_with_set(system, np.zeros(3), 0.0,
+                                    np.array([], dtype=int)) == 0.0
+
+    def test_lj_minimum_zero_force(self):
+        """At the LJ minimum r = 2^(1/6) the radial force vanishes."""
+        system = empty_system()
+        r_min = 2.0 ** (1.0 / 6.0)
+        system.insert_particle(0, np.array([1.0, 1.0, 1.0]), 0.0)
+        system.insert_particle(1, np.array([1.0 + r_min, 1.0, 1.0]), 0.0)
+        w = pair_virial_with_set(system, system.positions[0], 0.0,
+                                 np.array([1]))
+        assert w == pytest.approx(0.0, abs=1e-10)
+
+    def test_repulsive_core_positive_virial(self):
+        system = empty_system()
+        system.insert_particle(0, np.array([1.0, 1.0, 1.0]), 0.0)
+        system.insert_particle(1, np.array([1.9, 1.0, 1.0]), 0.0)  # r < min
+        w = pair_virial_with_set(system, system.positions[0], 0.0,
+                                 np.array([1]))
+        assert w > 0
+
+    def test_attractive_tail_negative_virial(self):
+        system = empty_system()
+        system.insert_particle(0, np.array([1.0, 1.0, 1.0]), 0.0)
+        system.insert_particle(1, np.array([2.5, 1.0, 1.0]), 0.0)  # r > min
+        w = pair_virial_with_set(system, system.positions[0], 0.0,
+                                 np.array([1]))
+        assert w < 0
+
+    def test_virial_matches_numerical_derivative(self):
+        """w(r) = -r dU/dr, checked against finite differences of the
+        pair energy for a charged pair."""
+        from repro.apps.gcmc.shortrange import pair_energy_with_set
+        system = empty_system()
+        system.insert_particle(0, np.array([1.0, 1.0, 1.0]), 1.0)
+        r = 1.7
+        h = 1e-6
+
+        def u_at(dist):
+            system.move_particle(0, np.array([1.0, 1.0, 1.0]))
+            probe = np.array([1.0 + dist, 1.0, 1.0])
+            e, _ = pair_energy_with_set(system, probe, -1.0, np.array([0]))
+            return e
+
+        dudr = (u_at(r + h) - u_at(r - h)) / (2 * h)
+        probe = np.array([1.0 + r, 1.0, 1.0])
+        w = pair_virial_with_set(system, probe, -1.0, np.array([0]))
+        assert w == pytest.approx(-r * dudr, rel=1e-5)
+
+
+class TestPressure:
+    def test_empty_box_zero_pressure(self):
+        assert measure_pressure(empty_system()) == 0.0
+
+    def test_ideal_gas_limit(self):
+        """Two far-apart particles: P = N T / V."""
+        system = empty_system(box=20.0, cutoff=2.5)
+        system.insert_particle(0, np.array([1.0, 1.0, 1.0]), 0.0)
+        system.insert_particle(1, np.array([15.0, 15.0, 15.0]), 0.0)
+        expected = 2 * system.config.temperature / system.config.volume
+        assert measure_pressure(system) == pytest.approx(expected)
+
+    def test_lattice_in_attractive_well_below_ideal(self):
+        """Lattice spacing 1.25 sigma sits in the LJ attractive well:
+        the virial is negative and the pressure drops below ideal."""
+        cfg = GCMCConfig(initial_particles=64, capacity=64, box=5.0)
+        system = ParticleSystem(cfg)
+        p = measure_pressure(system)
+        assert np.isfinite(p)
+        assert p < cfg.initial_particles * cfg.temperature / cfg.volume
+
+    def test_compressed_lattice_above_ideal(self):
+        """Squeeze the same lattice into the repulsive core: P > ideal."""
+        cfg = GCMCConfig(initial_particles=64, capacity=64, box=4.0,
+                         cutoff=2.0)
+        system = ParticleSystem(cfg)
+        p = measure_pressure(system)
+        assert p > cfg.initial_particles * cfg.temperature / cfg.volume
+
+    def test_total_virial_deterministic(self):
+        cfg = GCMCConfig(initial_particles=32, capacity=32, box=6.0)
+        a = total_virial(ParticleSystem(cfg))
+        b = total_virial(ParticleSystem(cfg))
+        assert a == b

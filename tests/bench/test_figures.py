@@ -1,0 +1,70 @@
+"""Unit tests for the figure definitions (small grids, small machines)."""
+
+import pytest
+
+from repro.apps.gcmc.config import GCMCConfig
+from repro.bench.figures import (
+    FIG9_PANELS,
+    FIG10_PAPER_RUNTIMES,
+    fig6,
+    fig9,
+    fig10,
+)
+
+
+class TestFig9:
+    def test_panels_cover_all_collectives(self):
+        kinds = {kind for kind, _ in FIG9_PANELS.values()}
+        assert kinds == {"allgather", "alltoall", "reduce_scatter", "bcast",
+                         "reduce", "allreduce"}
+
+    def test_mpb_stack_only_in_9f(self):
+        for figure, (_kind, stacks) in FIG9_PANELS.items():
+            assert ("mpb" in stacks) == (figure == "9f")
+
+    def test_unknown_panel(self):
+        with pytest.raises(KeyError):
+            fig9("9z")
+
+    def test_small_panel_runs(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_CORES", "8")
+        result = fig9("9f", sizes=[64, 96])
+        assert result.kind == "allreduce"
+        assert {s.label for s in result.series} == {
+            "rckmpi", "blocking", "ircce", "lightweight",
+            "lightweight_balanced", "mpb"}
+        assert result.mean_speedup_vs_blocking("lightweight") > 1.0
+        rendered = result.render()
+        assert "Fig. 9f" in rendered
+        assert "speedups" in rendered
+
+    def test_baseline_accessor(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_CORES", "8")
+        result = fig9("9c", sizes=[64])
+        assert result.baseline.label == "blocking"
+        assert result.optimized().label == "lightweight_balanced"
+
+
+class TestFig6:
+    def test_render_contains_paper_rows(self):
+        text = fig6()
+        assert "528" in text and "552" in text and "575" in text
+        assert "3.2" in text  # the ~3.2:1 middle-row ratio
+        assert "5.3" in text  # the ~5.3:1 worst-case ratio
+
+
+class TestFig10:
+    def test_small_run(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_CORES", "8")
+        cfg = GCMCConfig(initial_particles=24, capacity=48, box=6.0)
+        result = fig10(cycles=2, stacks=("blocking", "mpb"),
+                       app_config=cfg)
+        assert result.runtimes_us["blocking"] > result.runtimes_us["mpb"]
+        assert result.final_particles > 0
+        text = result.render()
+        assert "blocking" in text and "mpb" in text
+
+    def test_paper_runtime_table_complete(self):
+        assert set(FIG10_PAPER_RUNTIMES) == {
+            "rckmpi", "blocking", "ircce", "lightweight",
+            "lightweight_balanced", "mpb"}

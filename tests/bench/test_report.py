@@ -1,0 +1,79 @@
+"""Unit tests for series statistics and report formatting."""
+
+import pytest
+
+from repro.bench.report import (
+    Series,
+    format_series_table,
+    format_speedup_summary,
+    max_speedup,
+    mean_speedup,
+    speedup_series,
+)
+
+
+@pytest.fixture
+def base():
+    return Series("blocking", (10, 20), (100.0, 200.0))
+
+
+@pytest.fixture
+def fast():
+    return Series("optimized", (10, 20), (50.0, 50.0))
+
+
+class TestSeries:
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            Series("x", (1, 2), (1.0,))
+
+    def test_from_lists(self):
+        s = Series.from_lists("a", [1], [2.0])
+        assert s.sizes == (1,)
+
+    def test_mean(self, base):
+        assert base.mean() == 150.0
+
+    def test_at(self, base):
+        assert base.at(20) == 200.0
+        with pytest.raises(KeyError):
+            base.at(999)
+
+
+class TestSpeedups:
+    def test_pointwise(self, base, fast):
+        assert speedup_series(base, fast) == [2.0, 4.0]
+
+    def test_mean(self, base, fast):
+        assert mean_speedup(base, fast) == 3.0
+
+    def test_max_with_location(self, base, fast):
+        ratio, at = max_speedup(base, fast)
+        assert (ratio, at) == (4.0, 20)
+
+    def test_grid_mismatch_rejected(self, base):
+        other = Series("y", (10, 30), (1.0, 2.0))
+        with pytest.raises(ValueError):
+            speedup_series(base, other)
+
+
+class TestFormatting:
+    def test_table_contains_all_labels_and_sizes(self, base, fast):
+        table = format_series_table([base, fast])
+        assert "blocking" in table and "optimized" in table
+        assert " 10 " in table or "10" in table
+        assert "200.0" in table
+
+    def test_empty_table(self):
+        assert "(no series)" in format_series_table([])
+
+    def test_table_grid_mismatch_rejected(self, base):
+        other = Series("y", (10, 30), (1.0, 2.0))
+        with pytest.raises(ValueError):
+            format_series_table([base, other])
+
+    def test_speedup_summary(self, base, fast):
+        text = format_speedup_summary(base, [fast])
+        assert "optimized" in text
+        assert "3.00x" in text
+        assert "@ 20" in text

@@ -1,0 +1,89 @@
+"""Unit tests for the benchmark runner and sweeps."""
+
+import numpy as np
+import pytest
+
+from repro.bench.runner import (
+    CollectiveBench,
+    default_cores,
+    default_sizes,
+    measure_collective,
+    sweep,
+)
+from repro.hw.config import SCCConfig
+
+SMALL = dict(cores=4, config=SCCConfig(mesh_cols=2, mesh_rows=1))
+
+
+class TestMeasure:
+    def test_latency_positive(self):
+        us = measure_collective("allreduce", "lightweight", 64, **SMALL)
+        assert us > 0
+
+    def test_deterministic(self):
+        a = measure_collective("allreduce", "blocking", 64, **SMALL)
+        b = measure_collective("allreduce", "blocking", 64, **SMALL)
+        assert a == b
+
+    def test_all_kinds_run(self):
+        for kind in ("allreduce", "reduce", "reduce_scatter", "allgather",
+                     "alltoall", "bcast", "barrier"):
+            us = measure_collective(kind, "lightweight", 32, **SMALL)
+            assert us > 0
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(KeyError):
+            measure_collective("scan", "blocking", 8, **SMALL)
+
+    def test_unknown_stack_rejected(self):
+        with pytest.raises(KeyError):
+            measure_collective("allreduce", "openmpi", 8, **SMALL)
+
+    def test_too_many_cores_rejected(self):
+        with pytest.raises(ValueError):
+            measure_collective("allreduce", "blocking", 8, cores=99,
+                               config=SCCConfig(mesh_cols=2, mesh_rows=1))
+
+    def test_rank_order_permutation(self):
+        us = measure_collective(
+            "allreduce", "lightweight", 64, cores=4,
+            config=SCCConfig(mesh_cols=2, mesh_rows=1),
+            rank_order=[3, 1, 2, 0])
+        assert us > 0
+
+    def test_stack_ordering_blocking_slowest(self):
+        blocking = measure_collective("allreduce", "blocking", 96, **SMALL)
+        optimized = measure_collective("allreduce", "lightweight_balanced",
+                                       96, **SMALL)
+        assert blocking > optimized
+
+
+class TestSweep:
+    def test_sweep_shape(self):
+        sizes = [16, 32]
+        data = sweep("allreduce", ["blocking", "lightweight"], sizes,
+                     cores=4)
+        assert set(data) == {"blocking", "lightweight"}
+        assert all(len(v) == 2 for v in data.values())
+
+    def test_collective_bench_dataclass(self):
+        bench = CollectiveBench("bcast", ["lightweight"], sizes=[8],
+                                cores=4)
+        out = bench.run()
+        assert len(out["lightweight"]) == 1
+
+
+class TestEnvKnobs:
+    def test_default_sizes_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SIZES", "10:20:5")
+        assert default_sizes() == [10, 15]
+
+    def test_default_cores_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_CORES", "12")
+        assert default_cores() == 12
+
+    def test_default_sizes_without_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BENCH_SIZES", raising=False)
+        sizes = default_sizes()
+        assert sizes[0] == 500
+        assert sizes[-1] <= 700

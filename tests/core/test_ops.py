@@ -1,0 +1,59 @@
+"""Unit tests for reduction operators."""
+
+import numpy as np
+import pytest
+
+from repro.core.ops import MAX, MIN, OPS, PROD, SUM, ReduceOp, op_by_name
+
+
+def test_sum():
+    a = np.array([1.0, 2.0])
+    b = np.array([10.0, 20.0])
+    assert np.array_equal(SUM(a, b), [11.0, 22.0])
+
+
+def test_prod():
+    assert np.array_equal(PROD(np.array([2.0, 3.0]), np.array([4.0, 5.0])),
+                          [8.0, 15.0])
+
+
+def test_min_max():
+    a = np.array([1.0, 9.0])
+    b = np.array([5.0, 2.0])
+    assert np.array_equal(MIN(a, b), [1.0, 2.0])
+    assert np.array_equal(MAX(a, b), [5.0, 9.0])
+
+
+def test_reduce_all_matches_numpy():
+    rng = np.random.default_rng(42)
+    vectors = [rng.normal(size=17) for _ in range(5)]
+    assert np.allclose(SUM.reduce_all(vectors), np.sum(vectors, axis=0))
+    assert np.allclose(MIN.reduce_all(vectors), np.min(vectors, axis=0))
+
+
+def test_reduce_all_single_vector_copies():
+    v = np.ones(3)
+    out = SUM.reduce_all([v])
+    out[:] = 0
+    assert v[0] == 1.0
+
+
+def test_reduce_all_empty_rejected():
+    with pytest.raises(ValueError):
+        SUM.reduce_all([])
+
+
+def test_registry():
+    assert set(OPS) == {"sum", "prod", "min", "max"}
+    assert op_by_name("sum") is SUM
+    with pytest.raises(KeyError):
+        op_by_name("xor")
+
+
+def test_repr():
+    assert "sum" in repr(SUM)
+
+
+def test_custom_op():
+    absmax = ReduceOp("absmax", lambda a, b: np.maximum(np.abs(a), np.abs(b)))
+    assert np.array_equal(absmax(np.array([-5.0]), np.array([3.0])), [5.0])

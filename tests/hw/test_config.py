@@ -1,0 +1,82 @@
+"""Unit tests for the SCC configuration."""
+
+import pytest
+
+from repro.hw.config import CLOCK_PRESETS, SCCConfig, config_for_preset
+
+
+class TestDefaults:
+    def test_standard_preset_clocks(self):
+        cfg = SCCConfig()
+        assert cfg.core_freq_hz == 533_000_000
+        assert cfg.mesh_freq_hz == 800_000_000
+        assert cfg.dram_freq_hz == 800_000_000
+
+    def test_derived_counts(self):
+        cfg = SCCConfig()
+        assert cfg.num_tiles == 24
+        assert cfg.num_cores == 48
+        assert cfg.doubles_per_line == 4
+        assert cfg.mpb_payload_bytes == 8192 - 192
+
+    def test_erratum_enabled_by_default(self):
+        assert SCCConfig().erratum_enabled
+
+    def test_clock_objects(self):
+        cfg = SCCConfig()
+        assert cfg.core_clock().ps_per_cycle == 1876
+        assert cfg.mesh_clock().ps_per_cycle == 1250
+
+
+class TestValidation:
+    def test_bad_topology_rejected(self):
+        with pytest.raises(ValueError):
+            SCCConfig(mesh_cols=0)
+
+    def test_bad_line_size_rejected(self):
+        with pytest.raises(ValueError):
+            SCCConfig(l1_line_bytes=12)
+
+    def test_flag_region_must_fit(self):
+        with pytest.raises(ValueError):
+            SCCConfig(mpb_bytes_per_core=128, mpb_flag_bytes=192)
+
+    def test_mpb_must_be_line_aligned(self):
+        with pytest.raises(ValueError):
+            SCCConfig(mpb_bytes_per_core=8200)
+
+    def test_bad_frequency_rejected(self):
+        with pytest.raises(ValueError):
+            SCCConfig(core_freq_hz=0)
+
+
+class TestCopy:
+    def test_copy_overrides(self):
+        base = SCCConfig()
+        variant = base.copy(erratum_enabled=False)
+        assert not variant.erratum_enabled
+        assert base.erratum_enabled
+        assert variant.core_freq_hz == base.core_freq_hz
+
+    def test_copy_validates(self):
+        with pytest.raises(ValueError):
+            SCCConfig().copy(mesh_rows=-1)
+
+
+class TestPresets:
+    def test_all_presets_build(self):
+        for name in CLOCK_PRESETS:
+            cfg = config_for_preset(name)
+            assert cfg.num_cores == 48
+
+    def test_preset_800(self):
+        cfg = config_for_preset("800_800_800")
+        assert cfg.core_freq_hz == 800_000_000
+
+    def test_unknown_preset(self):
+        with pytest.raises(KeyError):
+            config_for_preset("9000_9000_9000")
+
+    def test_preset_with_override(self):
+        cfg = config_for_preset("533_800_800", erratum_enabled=False)
+        assert not cfg.erratum_enabled

@@ -1,0 +1,141 @@
+"""Unit tests for MPB storage, regions and allocation."""
+
+import numpy as np
+import pytest
+
+from repro.hw.mpb import MPB, MPBError, MPBRegion, as_bytes
+
+
+@pytest.fixture
+def mpb():
+    return MPB(core_id=3, size=8192, line_bytes=32, flag_bytes=192)
+
+
+class TestRawAccess:
+    def test_write_then_read_roundtrip(self, mpb):
+        data = np.arange(64, dtype=np.uint8)
+        mpb.write(256, data)
+        assert np.array_equal(mpb.read(256, 64), data)
+
+    def test_read_returns_copy(self, mpb):
+        mpb.write(0, np.ones(8, dtype=np.uint8))
+        out = mpb.read(0, 8)
+        out[:] = 9
+        assert mpb.read(0, 8)[0] == 1
+
+    def test_out_of_bounds_write(self, mpb):
+        with pytest.raises(MPBError):
+            mpb.write(8190, np.zeros(8, dtype=np.uint8))
+
+    def test_out_of_bounds_read(self, mpb):
+        with pytest.raises(MPBError):
+            mpb.read(-1, 4)
+        with pytest.raises(MPBError):
+            mpb.read(8192, 1)
+
+    def test_flag_region_exceeding_size_rejected(self):
+        with pytest.raises(MPBError):
+            MPB(0, size=128, line_bytes=32, flag_bytes=128)
+
+
+class TestAllocation:
+    def test_alloc_starts_after_flags_line_aligned(self, mpb):
+        region = mpb.alloc(100)
+        assert region.offset == 192  # 192 is already 32-aligned
+        assert region.size == 100
+
+    def test_alloc_alignment(self, mpb):
+        mpb.alloc(10)
+        second = mpb.alloc(10)
+        assert second.offset % 32 == 0
+
+    def test_alloc_exhaustion(self, mpb):
+        mpb.alloc(8000)
+        with pytest.raises(MPBError):
+            mpb.alloc(64)
+
+    def test_alloc_invalid_size(self, mpb):
+        with pytest.raises(MPBError):
+            mpb.alloc(0)
+
+    def test_reset_alloc(self, mpb):
+        mpb.alloc(4000)
+        mpb.reset_alloc()
+        region = mpb.alloc(4000)
+        assert region.offset == 192
+
+    def test_free_bytes(self, mpb):
+        before = mpb.free_bytes
+        mpb.alloc(320)
+        assert mpb.free_bytes == before - 320
+
+    def test_payload_bytes(self, mpb):
+        assert mpb.payload_bytes == 8000
+
+    def test_clear(self, mpb):
+        region = mpb.alloc(32)
+        region.write(np.ones(32, dtype=np.uint8))
+        mpb.clear()
+        assert mpb.read(region.offset, 32).sum() == 0
+        assert mpb.free_bytes == 8000
+
+
+class TestRegion:
+    def test_region_write_read(self, mpb):
+        region = mpb.alloc(256)
+        payload = np.arange(32, dtype=np.float64)
+        region.write(payload)
+        back = region.read(256).view(np.float64)
+        assert np.array_equal(back, payload)
+
+    def test_region_write_at_offset(self, mpb):
+        region = mpb.alloc(64)
+        region.write(np.full(16, 7, dtype=np.uint8), at=48)
+        assert region.read(16, at=48)[0] == 7
+
+    def test_region_overflow_write(self, mpb):
+        region = mpb.alloc(64)
+        with pytest.raises(MPBError):
+            region.write(np.zeros(65, dtype=np.uint8))
+
+    def test_region_overflow_read(self, mpb):
+        region = mpb.alloc(64)
+        with pytest.raises(MPBError):
+            region.read(65)
+
+    def test_read_into(self, mpb):
+        region = mpb.alloc(64)
+        data = np.linspace(0, 1, 8)
+        region.write(data)
+        out = np.empty(8, dtype=np.float64)
+        region.read_into(out)
+        assert np.array_equal(out, data)
+
+    def test_owner(self, mpb):
+        assert mpb.alloc(32).owner == 3
+
+    def test_halves_line_aligned(self, mpb):
+        region = mpb.alloc(4000)
+        lo, hi = region.halves()
+        assert lo.offset == region.offset
+        assert lo.size == hi.size
+        assert lo.size % 32 == 0
+        assert hi.offset == lo.offset + lo.size
+
+    def test_halves_too_small(self, mpb):
+        region = MPBRegion(mpb, 192, 32)
+        with pytest.raises(MPBError):
+            region.halves()
+
+
+class TestAsBytes:
+    def test_float_view(self):
+        arr = np.ones(4, dtype=np.float64)
+        raw = as_bytes(arr)
+        assert raw.dtype == np.uint8
+        assert raw.size == 32
+
+    def test_non_contiguous_handled(self):
+        arr = np.arange(16, dtype=np.float64)[::2]
+        raw = as_bytes(arr)
+        assert raw.size == 64

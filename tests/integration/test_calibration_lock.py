@@ -1,0 +1,49 @@
+"""Calibration lock: golden simulated latencies at the paper's key point.
+
+The `SCCConfig` software-cost constants were calibrated once against the
+paper's Section-IV speedup chain (see docs/timing-model.md) and then
+frozen.  These golden values pin the calibration: an unintended change to
+the timing model, the protocol structure, or the algorithms shows up here
+as an exact-number diff, separate from the (looser) shape assertions in
+the benchmark suite.
+
+If you change the model *deliberately*, re-derive the goldens with:
+    python -m repro stepwise
+and update both this file and EXPERIMENTS.md.
+"""
+
+import pytest
+
+from repro.bench.runner import measure_collective
+
+# Simulated microseconds, Allreduce, n = 552 doubles, 48 cores,
+# standard preset, erratum active.
+GOLDEN_ALLREDUCE_552 = {
+    "blocking": 2927.6,
+    "ircce": 2315.8,
+    "lightweight": 1405.9,
+    "lightweight_balanced": 1125.4,
+    "mpb": 1024.8,
+    "rckmpi": 5831.2,
+}
+
+
+@pytest.mark.parametrize("stack,expected",
+                         sorted(GOLDEN_ALLREDUCE_552.items()))
+def test_allreduce_golden_latency(stack, expected):
+    measured = measure_collective("allreduce", stack, 552)
+    assert measured == pytest.approx(expected, rel=1e-3), (
+        f"{stack}: {measured:.1f}us vs golden {expected:.1f}us — "
+        "the timing model changed; see this file's docstring")
+
+
+def test_stepwise_chain_locked():
+    lat = {stack: measure_collective("allreduce", stack, 552)
+           for stack in GOLDEN_ALLREDUCE_552 if stack != "rckmpi"}
+    assert lat["blocking"] / lat["ircce"] == pytest.approx(1.264, abs=0.01)
+    assert lat["ircce"] / lat["lightweight"] == pytest.approx(1.647,
+                                                              abs=0.01)
+    assert (lat["lightweight"] / lat["lightweight_balanced"]
+            == pytest.approx(1.249, abs=0.01))
+    assert (lat["lightweight_balanced"] / lat["mpb"]
+            == pytest.approx(1.098, abs=0.01))

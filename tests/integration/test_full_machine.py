@@ -1,0 +1,108 @@
+"""Full-scale integration: 48-core behaviour the paper depends on."""
+
+import numpy as np
+import pytest
+
+from repro.bench.runner import measure_collective
+from repro.core.registry import STACKS, make_communicator
+from repro.hw.config import SCCConfig
+from repro.hw.machine import Machine
+
+
+class TestFullMachineCorrectness:
+    @pytest.mark.parametrize("stack", list(STACKS))
+    def test_allreduce_48_cores(self, stack):
+        machine = Machine(SCCConfig())
+        comm = make_communicator(machine, stack)
+        rng = np.random.default_rng(99)
+        inputs = [rng.normal(size=552) for _ in range(48)]
+        expected = np.sum(inputs, axis=0)
+
+        def program(env):
+            return (yield from comm.allreduce(env, inputs[env.rank]))
+
+        result = machine.run_spmd(program)
+        for value in result.values:
+            np.testing.assert_allclose(value, expected, rtol=1e-12)
+
+
+class TestPaperOrderings:
+    def test_stack_latency_ordering_at_552(self):
+        """The Fig. 9f ordering at the application's vector size."""
+        lat = {stack: measure_collective("allreduce", stack, 552)
+               for stack in STACKS}
+        assert lat["rckmpi"] > lat["blocking"]
+        assert lat["blocking"] > lat["ircce"]
+        assert lat["ircce"] > lat["lightweight"]
+        assert lat["lightweight"] > lat["lightweight_balanced"]
+        assert lat["lightweight_balanced"] > lat["mpb"]
+
+    def test_spike_follows_line_alignment_full_vector(self):
+        """Allgather sends whole vectors: multiples of 4 doubles (complete
+        L1 lines) are the cheap sizes; anything else pays the padded-tail
+        extra transfer (period-4 spikes, Section V-A)."""
+        lat = {n: measure_collective("allgather", "lightweight", n)
+               for n in (600, 601, 602, 603, 604)}
+        for n in (601, 602, 603):
+            assert lat[n] > lat[600]
+            assert lat[n] > lat[604]
+
+    def test_spike_follows_block_alignment_ring(self):
+        """The ring collectives transfer *blocks*; the pacing block is the
+        standard split's first block (n//48 + n%48 elements), so the dip
+        sits where that block is line-aligned: at n = 553 the first block
+        is 36 elements (aligned), at 552 and 554..556 it is padded."""
+        lat = {n: measure_collective("allreduce", "lightweight", n)
+               for n in range(552, 557)}
+        assert lat[553] < lat[552]
+        assert lat[553] < lat[554]
+        assert lat[553] < lat[556]
+
+    def test_sawtooth_peak_and_drop(self):
+        """Unbalanced latency ramps toward 575 and collapses at 576."""
+        lat575 = measure_collective("allreduce", "lightweight", 575)
+        lat576 = measure_collective("allreduce", "lightweight", 576)
+        lat553 = measure_collective("allreduce", "lightweight", 553)
+        assert lat575 > lat576 * 1.2
+        assert lat575 > lat553 * 1.05
+
+
+class TestProfilingClaims:
+    def test_blocking_app_round_has_substantial_wait(self):
+        """Paper Section IV-A: profiling shows heavy rcce_wait_until time
+        under the blocking stack during ring exchanges."""
+        machine = Machine(SCCConfig())
+        comm = make_communicator(machine, "blocking")
+        rng = np.random.default_rng(1)
+        inputs = [rng.normal(size=552) for _ in range(48)]
+
+        def program(env):
+            for _ in range(2):
+                yield from comm.allreduce(env, inputs[env.rank])
+
+        result = machine.run_spmd(program)
+        max_wait = max(
+            (a.get("wait_flag") + a.get("wait_request")) / a.total()
+            for a in result.accounts)
+        assert max_wait > 0.25
+
+    def test_imbalanced_blocks_leave_cores_idle(self):
+        """Paper Section IV-C: with the standard 552-element split, cores
+        processing general-size blocks idle while the first-block core
+        works — balanced splitting reduces the idle share."""
+        def wait_share(stack):
+            machine = Machine(SCCConfig())
+            comm = make_communicator(machine, stack)
+            rng = np.random.default_rng(1)
+            inputs = [rng.normal(size=552) for _ in range(48)]
+
+            def program(env):
+                yield from comm.reduce_scatter(env, inputs[env.rank])
+
+            result = machine.run_spmd(program)
+            total = sum(a.total() for a in result.accounts)
+            waits = sum(a.get("wait_flag") + a.get("wait_request")
+                        for a in result.accounts)
+            return waits / total
+
+        assert wait_share("lightweight") > wait_share("lightweight_balanced")

@@ -1,0 +1,77 @@
+"""Property-based tests for block partitioning (optimization C)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.blocks import balanced_partition, standard_partition
+
+counts = st.integers(min_value=0, max_value=5000)
+ranks = st.integers(min_value=1, max_value=128)
+
+
+@given(n=counts, p=ranks)
+def test_standard_covers_exactly(n, p):
+    part = standard_partition(n, p)
+    assert sum(part.sizes) == n
+    assert part.p == p
+
+
+@given(n=counts, p=ranks)
+def test_balanced_covers_exactly(n, p):
+    part = balanced_partition(n, p)
+    assert sum(part.sizes) == n
+    assert part.p == p
+
+
+@given(n=counts, p=ranks)
+def test_slices_are_disjoint_and_ordered(n, p):
+    for maker in (standard_partition, balanced_partition):
+        part = maker(n, p)
+        prev_stop = 0
+        for b in range(p):
+            s = part.slice_of(b)
+            assert s.start == prev_stop
+            assert s.stop - s.start == part.size(b)
+            prev_stop = s.stop
+        assert prev_stop == n
+
+
+@given(n=counts, p=ranks)
+def test_balanced_max_min_gap_at_most_one(n, p):
+    part = balanced_partition(n, p)
+    assert part.max_size() - part.min_size() <= 1
+
+
+@given(n=counts, p=ranks)
+def test_balanced_never_worse_than_standard(n, p):
+    std = standard_partition(n, p)
+    bal = balanced_partition(n, p)
+    assert bal.max_size() <= std.max_size()
+    assert bal.imbalance_ratio() <= std.imbalance_ratio() or (
+        std.imbalance_ratio() == bal.imbalance_ratio() == 1.0)
+
+
+@given(n=counts, p=ranks)
+def test_standard_first_block_absorbs_remainder(n, p):
+    part = standard_partition(n, p)
+    assert part.size(0) == n // p + n % p
+    for b in range(1, p):
+        assert part.size(b) == n // p
+
+
+@given(n=counts, p=ranks)
+def test_balanced_sizes_monotonically_nonincreasing(n, p):
+    part = balanced_partition(n, p)
+    sizes = list(part.sizes)
+    assert sizes == sorted(sizes, reverse=True)
+
+
+@settings(max_examples=30)
+@given(n=st.integers(min_value=1, max_value=2000),
+       p=st.integers(min_value=1, max_value=64))
+def test_offsets_match_cumulative_sums(n, p):
+    part = balanced_partition(n, p)
+    acc = 0
+    for b in range(p):
+        assert part.offset(b) == acc
+        acc += part.size(b)

@@ -1,0 +1,86 @@
+"""Property-based tests for GCMC components."""
+
+import math
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.gcmc.config import GCMCConfig
+from repro.apps.gcmc.moves import Action, Proposal, acceptance_probability
+from repro.apps.gcmc.particles import ParticleSystem
+from repro.apps.gcmc.shortrange import pair_energy_with_set
+
+
+finite = st.floats(min_value=-50.0, max_value=50.0, allow_nan=False)
+positions = st.tuples(
+    st.floats(min_value=0.0, max_value=9.999),
+    st.floats(min_value=0.0, max_value=9.999),
+    st.floats(min_value=0.0, max_value=9.999),
+)
+
+
+@given(action=st.sampled_from(list(Action)),
+       n=st.integers(min_value=1, max_value=500), de=finite)
+def test_acceptance_probability_bounded(action, n, de):
+    p = acceptance_probability(GCMCConfig(), action, n, de)
+    assert 0.0 <= p <= 1.0
+    assert math.isfinite(p)
+
+
+@given(de1=finite, de2=finite, n=st.integers(1, 100))
+def test_acceptance_monotone_in_energy(de1, de2, n):
+    """Higher energy cost never increases acceptance."""
+    cfg = GCMCConfig()
+    lo, hi = sorted((de1, de2))
+    for action in Action:
+        p_lo = acceptance_probability(cfg, action, n, lo)
+        p_hi = acceptance_probability(cfg, action, n, hi)
+        assert p_hi <= p_lo + 1e-12
+
+
+@given(action=st.sampled_from(list(Action)),
+       slot=st.integers(0, 10_000), pos=positions,
+       charge=st.sampled_from([-1.0, 0.0, 1.0]))
+def test_proposal_wire_roundtrip(action, slot, pos, charge):
+    p = Proposal(action, slot, np.array(pos), charge)
+    q = Proposal.unpack(p.pack())
+    assert q.action == action
+    assert q.slot == slot
+    np.testing.assert_array_equal(q.position, p.position)
+    assert q.charge == charge
+
+
+@given(pos_a=positions, pos_b=positions)
+@settings(max_examples=40)
+def test_pair_energy_symmetric(pos_a, pos_b):
+    """U(a, b) == U(b, a) under minimum image."""
+    cfg = GCMCConfig(initial_particles=0, capacity=4, box=10.0)
+    system = ParticleSystem(cfg)
+    system.insert_particle(0, np.array(pos_a), 1.0)
+    system.insert_particle(1, np.array(pos_b), -1.0)
+    e_ab, _ = pair_energy_with_set(system, system.positions[0], 1.0,
+                                   np.array([1]))
+    e_ba, _ = pair_energy_with_set(system, system.positions[1], -1.0,
+                                   np.array([0]))
+    assert e_ab == np.float64(e_ba) or abs(e_ab - e_ba) < 1e-12
+
+
+@given(delta=st.tuples(st.floats(-100, 100), st.floats(-100, 100),
+                       st.floats(-100, 100)))
+def test_minimum_image_within_half_box(delta):
+    cfg = GCMCConfig(initial_particles=0, capacity=4, box=10.0)
+    system = ParticleSystem(cfg)
+    wrapped = system.minimum_image(np.array([delta]))
+    assert np.all(np.abs(wrapped) <= 5.0 + 1e-9)
+
+
+@given(n=st.integers(0, 40))
+@settings(max_examples=20)
+def test_local_sets_partition_any_active_count(n):
+    cfg = GCMCConfig(initial_particles=min(n, 40), capacity=64, box=10.0)
+    system = ParticleSystem(cfg)
+    for nranks in (1, 3, 8):
+        pieces = [system.local_indices(r, nranks) for r in range(nranks)]
+        joined = sorted(np.concatenate(pieces)) if pieces else []
+        assert list(joined) == list(system.active_indices())

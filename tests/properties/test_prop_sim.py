@@ -1,0 +1,94 @@
+"""Property-based tests for the discrete-event kernel."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import Simulator
+from repro.sim.clock import Clock
+
+delays = st.lists(st.integers(min_value=0, max_value=10_000),
+                  min_size=1, max_size=30)
+
+
+@given(per_proc=st.lists(delays, min_size=1, max_size=8))
+@settings(max_examples=60)
+def test_final_time_is_max_of_process_sums(per_proc):
+    sim = Simulator()
+
+    def proc(sim, ds):
+        for d in ds:
+            yield sim.timeout(d)
+
+    for ds in per_proc:
+        sim.process(proc(sim, ds))
+    final = sim.run()
+    assert final == max(sum(ds) for ds in per_proc)
+
+
+@given(per_proc=st.lists(delays, min_size=1, max_size=6))
+@settings(max_examples=40)
+def test_event_times_monotone_nondecreasing(per_proc):
+    sim = Simulator()
+    stamps = []
+
+    def proc(sim, ds):
+        for d in ds:
+            yield sim.timeout(d)
+            stamps.append(sim.now)
+
+    for ds in per_proc:
+        sim.process(proc(sim, ds))
+    sim.run()
+    assert stamps == sorted(stamps)
+
+
+@given(per_proc=st.lists(delays, min_size=1, max_size=6))
+@settings(max_examples=30)
+def test_determinism(per_proc):
+    def run_once():
+        sim = Simulator()
+        order = []
+
+        def proc(sim, tag, ds):
+            for d in ds:
+                yield sim.timeout(d)
+                order.append((tag, sim.now))
+
+        for tag, ds in enumerate(per_proc):
+            sim.process(proc(sim, tag, ds))
+        sim.run()
+        return order
+
+    assert run_once() == run_once()
+
+
+@given(freq=st.integers(min_value=1_000_000, max_value=5_000_000_000),
+       cycles=st.integers(min_value=0, max_value=1_000_000))
+def test_clock_cycles_nonnegative_and_monotone(freq, cycles):
+    clock = Clock(freq)
+    assert clock.cycles(cycles) >= 0
+    assert clock.cycles(cycles + 1) > clock.cycles(cycles) or \
+        clock.ps_per_cycle == 0
+
+
+@given(values=st.lists(st.integers(min_value=0, max_value=10**6),
+                       min_size=1, max_size=20))
+def test_gate_wakes_all_waiters(values):
+    sim = Simulator()
+    gate = sim.gate()
+    woken = []
+
+    def waiter(sim, tag):
+        yield gate.wait_true()
+        woken.append(tag)
+
+    for i, _v in enumerate(values):
+        sim.process(waiter(sim, i))
+
+    def setter(sim):
+        yield sim.timeout(5)
+        gate.set()
+
+    sim.process(setter(sim))
+    sim.run()
+    assert sorted(woken) == list(range(len(values)))

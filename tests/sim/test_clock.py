@@ -1,0 +1,64 @@
+"""Unit tests for clocks and time-unit conversions."""
+
+import pytest
+
+from repro.sim.clock import (
+    Clock,
+    PS_PER_MICROSECOND,
+    PS_PER_SECOND,
+    ps_to_ms,
+    ps_to_s,
+    ps_to_us,
+    us_to_ps,
+)
+
+
+def test_core_clock_533mhz():
+    clock = Clock(533_000_000)
+    # 1 / 533 MHz = 1876.17 ps
+    assert clock.ps_per_cycle == 1876
+    assert clock.cycles(1) == 1876
+    assert clock.cycles(100) == 187_600
+
+
+def test_mesh_clock_800mhz():
+    clock = Clock(800_000_000)
+    assert clock.ps_per_cycle == 1250
+    assert clock.cycles(8) == 10_000
+
+
+def test_zero_cycles():
+    assert Clock(533_000_000).cycles(0) == 0
+
+
+def test_fractional_cycles_round():
+    clock = Clock(800_000_000)
+    assert clock.cycles(0.5) == 625
+
+
+def test_negative_cycles_rejected():
+    with pytest.raises(ValueError):
+        Clock(800_000_000).cycles(-1)
+
+
+def test_invalid_frequency_rejected():
+    with pytest.raises(ValueError):
+        Clock(0)
+    with pytest.raises(ValueError):
+        Clock(-5)
+
+
+def test_roundtrip_to_cycles():
+    clock = Clock(533_000_000)
+    assert clock.to_cycles(clock.cycles(1000)) == pytest.approx(1000, rel=1e-9)
+
+
+def test_unit_conversions():
+    assert ps_to_us(PS_PER_MICROSECOND) == 1.0
+    assert ps_to_ms(PS_PER_MICROSECOND * 1000) == 1.0
+    assert ps_to_s(PS_PER_SECOND) == 1.0
+    assert us_to_ps(2.5) == 2_500_000
+
+
+def test_str():
+    assert "533" in str(Clock(533_000_000))

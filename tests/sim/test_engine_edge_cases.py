@@ -1,0 +1,132 @@
+"""Edge cases of the event loop: run-until semantics, interrupts on
+composites, restartability."""
+
+import pytest
+
+from repro.sim import AllOf, AnyOf, Interrupt, Simulator
+from repro.sim.errors import DeadlockError
+
+
+def test_run_until_then_resume():
+    sim = Simulator()
+    seen = []
+
+    def proc(sim):
+        for _ in range(3):
+            yield sim.timeout(100)
+            seen.append(sim.now)
+
+    sim.process(proc(sim))
+    sim.run(until=150)
+    assert seen == [100]
+    sim.run()  # resume to completion
+    assert seen == [100, 200, 300]
+
+
+def test_run_until_exact_event_time_processes_event():
+    sim = Simulator()
+    hit = []
+
+    def proc(sim):
+        yield sim.timeout(100)
+        hit.append(sim.now)
+
+    sim.process(proc(sim))
+    sim.run(until=100)
+    assert hit == [100]
+
+
+def test_run_until_no_deadlock_error():
+    """Stopping early never raises DeadlockError even with live waiters."""
+    sim = Simulator()
+
+    def stuck(sim, ev):
+        yield ev
+
+    sim.process(stuck(sim, sim.event()))
+    assert sim.run(until=10) == 10
+
+
+def test_run_until_processes_raises_failed_target():
+    sim = Simulator()
+
+    def boom(sim):
+        yield sim.timeout(5)
+        raise KeyError("died")
+
+    p = sim.process(boom(sim))
+    with pytest.raises(KeyError):
+        sim.run_until_processes([p])
+
+
+def test_interrupt_process_waiting_on_allof():
+    sim = Simulator()
+
+    def victim(sim):
+        kids = [sim.timeout(10_000), sim.timeout(20_000)]
+        try:
+            yield AllOf(sim, kids)
+        except Interrupt:
+            return "interrupted"
+
+    def attacker(sim, target):
+        yield sim.timeout(50)
+        target.interrupt()
+
+    v = sim.process(victim(sim))
+    sim.process(attacker(sim, v))
+    sim.run(check_deadlock=False)
+    assert v.value == "interrupted"
+
+
+def test_anyof_after_partial_failures():
+    sim = Simulator()
+
+    def fail_late(sim):
+        yield sim.timeout(100)
+        raise ValueError("late failure")
+
+    def succeed_early(sim):
+        yield sim.timeout(10)
+        return "winner"
+
+    def parent(sim, kids):
+        result = yield AnyOf(sim, kids)
+        return result.values()
+
+    kids = [sim.process(fail_late(sim)), sim.process(succeed_early(sim))]
+    p = sim.process(parent(sim, kids))
+    sim.run(check_deadlock=False)
+    assert p.value == ["winner"]
+
+
+def test_deadlock_error_lists_multiple_processes():
+    sim = Simulator()
+
+    def stuck(sim, ev):
+        yield ev
+
+    for i in range(12):
+        sim.process(stuck(sim, sim.event()), name=f"stuck{i}")
+    with pytest.raises(DeadlockError) as exc:
+        sim.run()
+    assert len(exc.value.waiting) == 12
+    assert "total" in str(exc.value)  # preview truncation marker
+
+
+def test_new_processes_spawned_mid_run():
+    sim = Simulator()
+    done = []
+
+    def child(sim, tag):
+        yield sim.timeout(10)
+        done.append(tag)
+
+    def spawner(sim):
+        yield sim.timeout(5)
+        sim.process(child(sim, "late"))
+
+    sim.process(spawner(sim))
+    sim.process(child(sim, "early"))
+    sim.run()
+    assert sorted(done) == ["early", "late"]

@@ -1,0 +1,148 @@
+"""Unit tests for the process model (including interrupts)."""
+
+import pytest
+
+from repro.sim import Interrupt, Simulator
+from repro.sim.errors import SimulationError
+
+
+def test_process_requires_generator():
+    sim = Simulator()
+    with pytest.raises(TypeError):
+        sim.process(lambda: None)
+
+
+def test_process_returns_value():
+    sim = Simulator()
+
+    def proc(sim):
+        yield sim.timeout(1)
+        return {"answer": 42}
+
+    p = sim.process(proc(sim))
+    sim.run()
+    assert p.value == {"answer": 42}
+
+
+def test_process_name_defaults_to_generator_name():
+    sim = Simulator()
+
+    def my_worker(sim):
+        yield sim.timeout(1)
+
+    p = sim.process(my_worker(sim))
+    assert p.name == "my_worker"
+    sim.run()
+
+
+def test_processes_can_wait_on_each_other():
+    sim = Simulator()
+
+    def child(sim):
+        yield sim.timeout(500)
+        return "done"
+
+    def parent(sim):
+        c = sim.process(child(sim))
+        result = yield c
+        return (result, sim.now)
+
+    p = sim.process(parent(sim))
+    sim.run()
+    assert p.value == ("done", 500)
+
+
+def test_nested_subgenerators_via_yield_from():
+    sim = Simulator()
+
+    def inner(sim):
+        yield sim.timeout(10)
+        return "inner-value"
+
+    def outer(sim):
+        value = yield from inner(sim)
+        yield sim.timeout(5)
+        return value + "!"
+
+    p = sim.process(outer(sim))
+    sim.run()
+    assert p.value == "inner-value!"
+    assert sim.now == 15
+
+
+class TestInterrupt:
+    def test_interrupt_waiting_process(self):
+        sim = Simulator()
+
+        def victim(sim):
+            try:
+                yield sim.timeout(10_000)
+            except Interrupt as intr:
+                return ("interrupted", intr.cause, sim.now)
+
+        def attacker(sim, target):
+            yield sim.timeout(100)
+            target.interrupt("cancelled")
+
+        v = sim.process(victim(sim))
+        sim.process(attacker(sim, v))
+        sim.run()
+        assert v.value == ("interrupted", "cancelled", 100)
+
+    def test_stale_wakeup_after_interrupt_is_ignored(self):
+        """The abandoned timeout must not resume the process again."""
+        sim = Simulator()
+        resumes = []
+
+        victim_box = []
+
+        def victim(sim):
+            try:
+                yield sim.timeout(50)
+            except Interrupt:
+                pass
+            resumes.append(sim.now)
+            yield sim.timeout(1000)
+            resumes.append(sim.now)
+
+        def attacker(sim):
+            yield sim.timeout(50)  # same instant as the victim's timeout
+            victim_box[0].interrupt()
+
+        # The attacker is created first, so at t=50 its wakeup processes
+        # before the victim's own timeout: the interrupt races with (and
+        # must beat) the timeout that fires at the very same instant.
+        sim.process(attacker(sim))
+        v = sim.process(victim(sim))
+        victim_box.append(v)
+        sim.run()
+        assert v.triggered
+        # Exactly two resumes: after the interrupt and after the new wait.
+        assert resumes == [50, 1050]
+
+    def test_interrupt_completed_process_rejected(self):
+        sim = Simulator()
+
+        def quick(sim):
+            yield sim.timeout(1)
+
+        p = sim.process(quick(sim))
+        sim.run()
+        with pytest.raises(SimulationError):
+            p.interrupt()
+
+    def test_uncaught_interrupt_fails_process(self):
+        sim = Simulator()
+
+        def victim(sim):
+            yield sim.timeout(10_000)
+
+        def attacker(sim, target):
+            yield sim.timeout(1)
+            target.interrupt()
+
+        v = sim.process(victim(sim))
+        sim.process(attacker(sim, v))
+        sim.run(check_deadlock=False)
+        assert v.failed
+        assert isinstance(v.value, Interrupt)

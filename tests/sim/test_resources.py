@@ -1,0 +1,129 @@
+"""Unit tests for FifoLock and Semaphore."""
+
+import pytest
+
+from repro.sim import Simulator
+from repro.sim.errors import SimulationError
+from repro.sim.resources import FifoLock, Semaphore
+
+
+class TestFifoLock:
+    def test_uncontended_acquire_immediate(self):
+        sim = Simulator()
+        lock = FifoLock(sim)
+
+        def proc(sim):
+            yield lock.acquire()
+            t = sim.now
+            lock.release()
+            return t
+
+        p = sim.process(proc(sim))
+        sim.run()
+        assert p.value == 0
+
+    def test_try_acquire(self):
+        sim = Simulator()
+        lock = FifoLock(sim)
+        assert lock.try_acquire()
+        assert not lock.try_acquire()
+        lock.release()
+        assert lock.try_acquire()
+
+    def test_fifo_ordering(self):
+        sim = Simulator()
+        lock = FifoLock(sim)
+        order = []
+
+        def proc(sim, tag, delay):
+            yield sim.timeout(delay)
+            yield lock.acquire()
+            order.append(tag)
+            yield sim.timeout(100)
+            lock.release()
+
+        for tag, delay in (("a", 0), ("b", 1), ("c", 2)):
+            sim.process(proc(sim, tag, delay))
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_release_unlocked_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            FifoLock(sim).release()
+
+    def test_holding_helper(self):
+        sim = Simulator()
+        lock = FifoLock(sim)
+
+        def proc(sim):
+            yield from lock.holding(500)
+            return sim.now
+
+        p1 = sim.process(proc(sim))
+        p2 = sim.process(proc(sim))
+        sim.run()
+        assert (p1.value, p2.value) == (500, 1000)
+
+    def test_queue_length(self):
+        sim = Simulator()
+        lock = FifoLock(sim)
+        lock.try_acquire()
+        lock.acquire()  # queued
+        assert lock.queue_length == 1
+
+
+class TestSemaphore:
+    def test_initial_count_consumed(self):
+        sim = Simulator()
+        sem = Semaphore(sim, 2)
+        granted = []
+
+        def proc(sim, tag):
+            yield sem.acquire()
+            granted.append((tag, sim.now))
+
+        for tag in range(3):
+            sim.process(proc(sim, tag))
+
+        def releaser(sim):
+            yield sim.timeout(100)
+            sem.release()
+
+        sim.process(releaser(sim))
+        sim.run()
+        assert granted == [(0, 0), (1, 0), (2, 100)]
+
+    def test_release_without_waiters_increments(self):
+        sim = Simulator()
+        sem = Semaphore(sim, 0)
+        sem.release()
+        assert sem.count == 1
+
+    def test_negative_initial_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            Semaphore(sim, -1)
+
+    def test_fifo_wakeup(self):
+        sim = Simulator()
+        sem = Semaphore(sim, 0)
+        order = []
+
+        def proc(sim, tag, delay):
+            yield sim.timeout(delay)
+            yield sem.acquire()
+            order.append(tag)
+
+        for tag, delay in (("x", 0), ("y", 5)):
+            sim.process(proc(sim, tag, delay))
+
+        def releaser(sim):
+            yield sim.timeout(50)
+            sem.release()
+            yield sim.timeout(50)
+            sem.release()
+
+        sim.process(releaser(sim))
+        sim.run()
+        assert order == ["x", "y"]

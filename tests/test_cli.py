@@ -1,0 +1,80 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import _parse_sizes, build_parser, main
+
+
+class TestParseSizes:
+    def test_range_spec(self):
+        assert _parse_sizes("10:20:5") == [10, 15]
+
+    def test_comma_list(self):
+        assert _parse_sizes("552,575,576") == [552, 575, 576]
+
+    def test_single_value(self):
+        assert _parse_sizes("42") == [42]
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["teleport"])
+
+    def test_fig9_requires_valid_panel(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig9", "9z"])
+
+
+class TestCommands:
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "48" in out
+        assert "533" in out
+        assert "erratum" in out
+
+    def test_fig6(self, capsys):
+        assert main(["fig6"]) == 0
+        out = capsys.readouterr().out
+        assert "552" in out and "575" in out
+
+    def test_fig9_small(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_CORES", "8")
+        assert main(["fig9", "9f", "--sizes", "64,96", "--cores", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "blocking" in out and "mpb" in out
+
+    def test_sweep_small(self, capsys):
+        assert main(["sweep", "allreduce", "--stacks", "blocking",
+                     "lightweight", "--sizes", "64", "--cores", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "lightweight" in out
+
+    def test_stepwise_small(self, capsys):
+        assert main(["stepwise", "--size", "96", "--cores", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "combined" in out
+
+    def test_gcmc_small(self, capsys):
+        assert main(["gcmc", "--cycles", "1", "--particles", "24",
+                     "--stack", "lightweight"]) == 0
+        out = capsys.readouterr().out
+        assert "final energy" in out
+
+    def test_fig10_small(self, capsys):
+        assert main(["fig10", "--cycles", "1",
+                     "--stacks", "lightweight", "blocking"]) == 0
+        out = capsys.readouterr().out
+        assert "blocking" in out
+
+    def test_paper_digest(self, capsys):
+        assert main(["paper", "--cycles", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 6" in out
+        assert "Section IV" in out
+        assert "Fig. 10" in out

@@ -1,0 +1,34 @@
+"""Unit tests for text-table rendering."""
+
+import pytest
+
+from repro.util.tables import format_table
+
+
+def test_basic_table():
+    text = format_table(["a", "bb"], [[1, 2.5], [30, 4.25]])
+    lines = text.splitlines()
+    assert len(lines) == 4
+    assert "a" in lines[0] and "bb" in lines[0]
+    assert "2.50" in text
+    assert "4.25" in text
+
+
+def test_float_format_override():
+    text = format_table(["x"], [[3.14159]], float_fmt="{:.4f}")
+    assert "3.1416" in text
+
+
+def test_column_width_adapts():
+    text = format_table(["h"], [["a-very-long-cell"]])
+    assert "a-very-long-cell" in text
+
+
+def test_empty_rows():
+    text = format_table(["only", "headers"], [])
+    assert "only" in text
+
+
+def test_row_arity_checked():
+    with pytest.raises(ValueError):
+        format_table(["a", "b"], [[1]])
