@@ -18,8 +18,19 @@ from conftest import write_report
 
 
 def test_fig10_application(benchmark, results_dir):
-    result = fig10()
+    result = fig10(profile_dir=str(results_dir))
     write_report(results_dir, "fig10_application", result.render())
+
+    # The machine-readable profiles landed next to the report and agree
+    # with the rendered wait fractions' accounts.
+    import json
+    for stack in result.runtimes_us:
+        path = results_dir / f"fig10_{stack}.metrics.json"
+        metrics = json.loads(path.read_text())
+        assert metrics["meta"]["stack"] == stack
+        assert metrics["elapsed_us"] == result.runtimes_us[stack]
+        assert len(metrics["cores"]) == 48
+        assert metrics["mesh_links"], "traffic counters were not enabled"
 
     # Ordering: every optimization step helps end-to-end.
     order = ["blocking", "ircce", "lightweight", "lightweight_balanced",

@@ -7,18 +7,26 @@ latency table per collective, with the stacks of the paper's graphs
 and — for Allreduce — the MPB-direct variant), plus the speedup summary
 the paper quotes ("roughly between 2 to 3").
 
-Run:  python examples/collective_comparison.py [sizes...]
+Run:  python examples/collective_comparison.py [--smoke] [sizes...]
       python examples/collective_comparison.py 552 574 576
 """
 
-import sys
+import argparse
 
 from repro.bench.figures import FIG9_PANELS, fig9
 
 
 def main() -> None:
-    sizes = [int(a) for a in sys.argv[1:]] or [548, 552, 556, 574, 575, 576]
-    for figure in sorted(FIG9_PANELS):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("sizes", nargs="*", type=int,
+                        help="vector sizes (doubles)")
+    parser.add_argument("--smoke", action="store_true",
+                        help="one panel, two sizes — a seconds-scale run")
+    args = parser.parse_args()
+    sizes = args.sizes or ([552, 576] if args.smoke
+                           else [548, 552, 556, 574, 575, 576])
+    panels = ["9f"] if args.smoke else sorted(FIG9_PANELS)
+    for figure in panels:
         kind, _stacks = FIG9_PANELS[figure]
         print(f"--- Fig. {figure}: {kind} ---")
         result = fig9(figure, sizes=sizes)

@@ -5,8 +5,10 @@ The hardware model is fully parameterized, so the library doubles as a
 design-space exploration tool: this example sweeps three hypothetical
 SCC variants and reports how the optimized Allreduce responds.
 
-Run:  python examples/custom_chip.py
+Run:  python examples/custom_chip.py [--smoke]
 """
+
+import argparse
 
 import numpy as np
 
@@ -28,17 +30,25 @@ def allreduce_latency(config: SCCConfig, stack: str = "mpb",
 
 
 def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="small vectors, skip the 96-core what-if")
+    args = parser.parse_args()
+    n = 96 if args.smoke else 552
+
     chips = {
         "SCC (standard preset)": SCCConfig(),
         "SCC, erratum fixed": SCCConfig(erratum_enabled=False),
         "SCC @ 800 MHz cores": config_for_preset("800_800_800"),
         "half-SCC (3x4 tiles, 24 cores)": SCCConfig(mesh_cols=3),
-        "double-SCC (12x4 tiles, 96 cores)": SCCConfig(mesh_cols=12),
     }
-    print(f"{'chip':<36}{'cores':>6}{'diameter':>9}{'allreduce(552)':>16}")
+    if not args.smoke:
+        chips["double-SCC (12x4 tiles, 96 cores)"] = SCCConfig(mesh_cols=12)
+    print(f"{'chip':<36}{'cores':>6}{'diameter':>9}"
+          f"{f'allreduce({n})':>16}")
     for name, cfg in chips.items():
         machine = Machine(cfg)
-        latency = allreduce_latency(cfg)
+        latency = allreduce_latency(cfg, n=n)
         print(f"{name:<36}{cfg.num_cores:>6}"
               f"{machine.topology.max_hops():>7} h"
               f"{latency:>13.1f} us")

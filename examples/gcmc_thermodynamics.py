@@ -7,10 +7,10 @@ shows what the paper's Fig. 10 shows: identical physics, very different
 runtimes — plus the profiling observation that motivated the whole paper
 (a large share of core time sits in flag waits under the blocking stack).
 
-Run:  python examples/gcmc_thermodynamics.py [cycles]
+Run:  python examples/gcmc_thermodynamics.py [--smoke] [cycles]
 """
 
-import sys
+import argparse
 
 from repro.apps.gcmc import GCMCConfig, run_gcmc, run_gcmc_serial
 from repro.core import make_communicator
@@ -18,8 +18,18 @@ from repro.hw import Machine
 
 
 def main() -> None:
-    cycles = int(sys.argv[1]) if len(sys.argv) > 1 else 4
-    cfg = GCMCConfig(initial_particles=96, capacity=192, box=7.0)
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("cycles", nargs="?", type=int, default=None,
+                        help="MC cycles to run (default 4, smoke 1)")
+    parser.add_argument("--smoke", action="store_true",
+                        help="fewer particles/cycles — a seconds-scale run")
+    args = parser.parse_args()
+    cycles = args.cycles if args.cycles is not None else (1 if args.smoke
+                                                          else 4)
+    if args.smoke:
+        cfg = GCMCConfig(initial_particles=48, capacity=96, box=6.0)
+    else:
+        cfg = GCMCConfig(initial_particles=96, capacity=192, box=7.0)
 
     print(f"GCMC: {cfg.initial_particles} LJ+charge particles, "
           f"{cfg.n_kvectors} Fourier coefficients "

@@ -8,8 +8,10 @@ directly.  This example hand-rolls a double-buffered neighbour pipeline —
 a miniature of the paper's Fig. 8 — and compares it with the equivalent
 send/recv loop.
 
-Run:  python examples/gory_protocol.py
+Run:  python examples/gory_protocol.py [--smoke]
 """
+
+import argparse
 
 import numpy as np
 
@@ -86,6 +88,13 @@ def sendrecv_pipeline(cores: int = 8) -> float:
 
 
 def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="fewer pipeline rounds")
+    args = parser.parse_args()
+    global ROUNDS
+    if args.smoke:
+        ROUNDS = 4
     t_gory = gory_pipeline()
     t_nb = sendrecv_pipeline()
     print(f"{ROUNDS} neighbour-pipeline rounds of {BLOCK} doubles, 8 cores")

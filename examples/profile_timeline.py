@@ -1,49 +1,43 @@
 #!/usr/bin/env python
 """Profile a collective: traces, timelines, per-core activity bars.
 
-Demonstrates the observability features: run one Allreduce under the
-blocking and the optimized stack with tracing enabled, then render
+Demonstrates the visual end of the observability layer: run one
+Allreduce under the blocking and the optimized stack via
+`repro.obs.profile_collective`, then render
 
-* an ASCII Gantt chart of every core's send/recv spans (the barrier-like
-  phase structure of the blocking odd-even ring is directly visible), and
+* an ASCII Gantt chart of every core's spans (the barrier-like phase
+  structure of the blocking odd-even ring is directly visible), and
 * stacked per-core activity bars (compute / copy / overhead / waits) —
   the simulator's version of the paper's profiling runs.
 
-Run:  python examples/profile_timeline.py
+For the table/export side of the same profiles (wait-profile tables,
+Chrome traces, metrics files) see examples/profile_collective.py and
+docs/observability.md.
+
+Run:  python examples/profile_timeline.py [--smoke]
 """
 
-import numpy as np
+import argparse
 
-from repro.core import make_communicator
-from repro.hw import Machine, SCCConfig
-from repro.sim.trace import Tracer
+from repro.obs.profile import profile_collective
 from repro.util.timeline import Timeline, render_accounts_bar
 
 
-def traced_allreduce(stack: str, cores: int = 8, n: int = 128):
-    tracer = Tracer(enabled=True)
-    machine = Machine(SCCConfig(mesh_cols=cores // 2, mesh_rows=1),
-                      tracer=tracer)
-    comm = make_communicator(machine, stack)
-    rng = np.random.default_rng(0)
-    inputs = [rng.normal(size=n) for _ in range(cores)]
-
-    def program(env):
-        yield from comm.allreduce(env, inputs[env.rank])
-
-    result = machine.run_spmd(program)
-    return tracer, result
-
-
 def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny sizes for a seconds-scale run")
+    args = parser.parse_args()
+    cores, n = (4, 32) if args.smoke else (8, 128)
+
     for stack in ("blocking", "lightweight_balanced"):
-        tracer, result = traced_allreduce(stack)
-        print(f"=== {stack}: Allreduce of 128 doubles on 8 cores "
-              f"({result.elapsed_us:.0f} us simulated) ===")
-        print(Timeline().feed(tracer.records).render(width=72))
+        prof = profile_collective("allreduce", stack, n, cores=cores)
+        print(f"=== {stack}: Allreduce of {n} doubles on {cores} cores "
+              f"({prof.elapsed_us:.0f} us simulated) ===")
+        print(Timeline().feed(prof.records).render(width=72))
         print()
         print("per-core activity:")
-        print(render_accounts_bar(result.accounts, width=60))
+        print(render_accounts_bar(prof.result.accounts, width=60))
         print()
 
 

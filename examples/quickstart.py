@@ -10,8 +10,10 @@ This is the smallest end-to-end use of the library:
 4. read back results (real data, verified against NumPy) and the
    simulated latency.
 
-Run:  python examples/quickstart.py
+Run:  python examples/quickstart.py [--smoke]
 """
+
+import argparse
 
 import numpy as np
 
@@ -20,13 +22,19 @@ from repro.hw import Machine
 
 
 def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny size for a seconds-scale run")
+    args = parser.parse_args()
+
     machine = Machine()  # the standard SCC: 48 cores, 6x4 mesh, 8 KB MPBs
     comm = make_communicator(machine, "lightweight_balanced")
 
     # Each rank contributes a 552-double vector — the size the paper's
     # thermodynamics application reduces on every Monte Carlo move.
+    n = 64 if args.smoke else 552
     rng = np.random.default_rng(42)
-    inputs = [rng.normal(size=552) for _ in range(machine.num_cores)]
+    inputs = [rng.normal(size=n) for _ in range(machine.num_cores)]
 
     def program(env):
         result = yield from comm.allreduce(env, inputs[env.rank])
@@ -37,7 +45,7 @@ def main() -> None:
     expected = np.sum(inputs, axis=0)
     assert all(np.allclose(v, expected) for v in launch.values)
 
-    print(f"Allreduce of 552 doubles on {machine.num_cores} cores")
+    print(f"Allreduce of {n} doubles on {machine.num_cores} cores")
     print(f"stack            : {comm.name}")
     print(f"simulated latency: {launch.elapsed_us:.1f} us")
     print(f"result check     : OK (matches NumPy ground truth)")

@@ -23,10 +23,16 @@ from repro.bench.report import (
     mean_speedup,
 )
 from repro.bench.runner import default_cores, default_sizes, sweep
+from repro.bench.stats import comm_stats
 from repro.core.blocks import fig6_table
 from repro.core.registry import make_communicator
 from repro.hw.config import SCCConfig
 from repro.hw.machine import Machine
+from repro.obs.export import (
+    run_metrics,
+    write_metrics_csv,
+    write_metrics_json,
+)
 
 #: Fig. 9 panel definitions: (figure id, collective, stacks shown).
 _NON_BALANCED = ("rckmpi", "blocking", "ircce", "lightweight")
@@ -175,9 +181,16 @@ def default_app_cycles() -> int:
 
 def fig10(cycles: Optional[int] = None,
           stacks: Sequence[str] = FIG10_STACKS,
-          app_config: Optional[GCMCConfig] = None) -> Fig10Result:
+          app_config: Optional[GCMCConfig] = None,
+          profile_dir: Optional[str] = None) -> Fig10Result:
     """Run the GCMC application on every stack; identical physics, only
-    the simulated runtimes differ."""
+    the simulated runtimes differ.
+
+    With ``profile_dir`` set, each stack's run also emits a
+    machine-readable profile (``fig10_<stack>.metrics.{json,csv}``): the
+    per-core busy/wait breakdown, per-mesh-link traffic, and MPB I/O
+    counters described in ``docs/observability.md``.
+    """
     cycles = cycles if cycles is not None else default_app_cycles()
     cfg = app_config if app_config is not None else GCMCConfig()
     runtimes: dict[str, float] = {}
@@ -186,8 +199,19 @@ def fig10(cycles: Optional[int] = None,
     particles = None
     for stack in stacks:
         machine = Machine(SCCConfig())
+        if profile_dir is not None:
+            comm_stats(machine)  # enable per-link traffic attribution
         comm = make_communicator(machine, stack)
         result = run_gcmc(machine, comm, cfg, cycles)
+        if profile_dir is not None:
+            os.makedirs(profile_dir, exist_ok=True)
+            metrics = run_metrics(machine, result, meta={
+                "figure": "10", "app": "gcmc",
+                "stack": stack, "cycles": cycles,
+            })
+            base = os.path.join(profile_dir, f"fig10_{stack}")
+            write_metrics_json(base + ".metrics.json", metrics)
+            write_metrics_csv(base + ".metrics.csv", metrics)
         runtimes[stack] = result.elapsed_us
         waits[stack] = result.wait_fraction()
         if energy is None:

@@ -45,8 +45,8 @@ def default_cores() -> int:
     return int(os.environ.get("REPRO_BENCH_CORES", "48"))
 
 
-def _program_for(kind: str, comm: Communicator, inputs: list[np.ndarray],
-                 op: ReduceOp):
+def program_for(kind: str, comm: Communicator, inputs: list[np.ndarray],
+                op: ReduceOp):
     """Build the per-rank SPMD program measuring one collective call."""
 
     def program(env):
@@ -102,7 +102,7 @@ def measure_collective(kind: str, stack: str, size: int, *,
     comm = make_communicator(machine, stack)
     rng = np.random.default_rng(seed)
     inputs = [rng.normal(size=size) for _ in range(cores)]
-    program = _program_for(kind, comm, inputs, op)
+    program = program_for(kind, comm, inputs, op)
     ranks = list(rank_order) if rank_order is not None else list(range(cores))
     result = machine.run_spmd(program, ranks=ranks)
     return ps_to_us(result.values[0])

@@ -9,6 +9,7 @@ Examples::
     python -m repro stepwise
     python -m repro sweep allreduce --stacks blocking mpb --sizes 552:577:4
     python -m repro gcmc --stack mpb --cycles 5
+    python -m repro profile allreduce --stack mpb --sizes 1024
 """
 
 from __future__ import annotations
@@ -27,10 +28,11 @@ from repro.bench.figures import (
     fig10,
 )
 from repro.bench.report import Series, format_series_table
-from repro.bench.runner import measure_collective, sweep
+from repro.bench.runner import KINDS, measure_collective, sweep
 from repro.core.registry import STACKS, make_communicator
 from repro.hw.config import CLOCK_PRESETS, SCCConfig
 from repro.hw.machine import Machine
+from repro.obs.profile import profile_collective
 
 
 def _parse_sizes(spec: str) -> list[int]:
@@ -127,6 +129,22 @@ def _cmd_gcmc(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_profile(args: argparse.Namespace) -> int:
+    for size in _parse_sizes(args.sizes):
+        prof = profile_collective(args.kind, args.stack, size,
+                                  cores=args.cores, trace=not args.no_trace)
+        print(prof.wait_profile_table())
+        print()
+        if not args.no_trace:
+            print(prof.phase_table())
+            print()
+        paths = prof.write(args.out)
+        for path in paths.values():
+            print(f"wrote {path}")
+        print()
+    return 0
+
+
 def _cmd_paper(args: argparse.Namespace) -> int:
     """One-shot reproduction digest: Fig. 6, the Section-IV chain, and a
     compact Fig. 10 (full Fig. 9 panels via `fig9`, they take minutes)."""
@@ -171,15 +189,27 @@ def build_parser() -> argparse.ArgumentParser:
     pstep.set_defaults(func=_cmd_stepwise)
 
     psweep = sub.add_parser("sweep", help="custom latency sweep")
-    psweep.add_argument("kind", choices=["allreduce", "reduce",
-                                         "reduce_scatter", "allgather",
-                                         "alltoall", "bcast", "barrier"])
+    psweep.add_argument("kind", choices=list(KINDS))
     psweep.add_argument("--stacks", nargs="+", required=True,
                         choices=list(STACKS))
     psweep.add_argument("--sizes", required=True,
                         help="start:stop:step or comma list")
     psweep.add_argument("--cores", type=int, default=None)
     psweep.set_defaults(func=_cmd_sweep)
+
+    pprof = sub.add_parser(
+        "profile",
+        help="per-phase wait profile + trace/metrics export")
+    pprof.add_argument("kind", choices=list(KINDS))
+    pprof.add_argument("--stack", default="mpb", choices=list(STACKS))
+    pprof.add_argument("--sizes", required=True,
+                       help="start:stop:step or comma list")
+    pprof.add_argument("--cores", type=int, default=None)
+    pprof.add_argument("--out", default="profiles",
+                       help="output directory for trace + metrics files")
+    pprof.add_argument("--no-trace", action="store_true",
+                       help="skip span tracing (accounts-only profile)")
+    pprof.set_defaults(func=_cmd_profile)
 
     pp = sub.add_parser("paper",
                         help="one-shot digest: Fig. 6 + Section IV + Fig. 10")

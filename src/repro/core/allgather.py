@@ -20,6 +20,7 @@ import numpy as np
 from repro.core.blocks import Partition
 from repro.core.exchange import full_exchange, ring_send_first
 from repro.hw.machine import CoreEnv
+from repro.obs.spans import span
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.comm import Communicator
@@ -38,10 +39,11 @@ def ring_allgather(comm: "Communicator", env: CoreEnv,
     left = (me - 1) % p
     send_first = ring_send_first(env)
     for r in range(p - 1):
-        send_row = (me - r) % p
-        recv_row = (me - 1 - r) % p
-        yield from full_exchange(comm, env, out[send_row], right,
-                                 out[recv_row], left, send_first)
+        with span(env, "round", r):
+            send_row = (me - r) % p
+            recv_row = (me - 1 - r) % p
+            yield from full_exchange(comm, env, out[send_row], right,
+                                     out[recv_row], left, send_first)
     return out
 
 
@@ -63,11 +65,12 @@ def ring_allgather_blocks(comm: "Communicator", env: CoreEnv,
     vme = (me - shift) % p
     send_first = ring_send_first(env)
     for r in range(p - 1):
-        send_block = (vme - r) % p
-        recv_block = (vme - 1 - r) % p
-        send_data = vector[part.slice_of(send_block)]
-        recv_buf = np.empty(part.size(recv_block), dtype=vector.dtype)
-        yield from full_exchange(comm, env, send_data, right, recv_buf,
-                                 left, send_first)
-        vector[part.slice_of(recv_block)] = recv_buf
+        with span(env, "round", r):
+            send_block = (vme - r) % p
+            recv_block = (vme - 1 - r) % p
+            send_data = vector[part.slice_of(send_block)]
+            recv_buf = np.empty(part.size(recv_block), dtype=vector.dtype)
+            yield from full_exchange(comm, env, send_data, right, recv_buf,
+                                     left, send_first)
+            vector[part.slice_of(recv_block)] = recv_buf
     return vector

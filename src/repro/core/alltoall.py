@@ -19,6 +19,7 @@ import numpy as np
 
 from repro.core.exchange import full_exchange, pairwise_send_first
 from repro.hw.machine import CoreEnv
+from repro.obs.spans import span
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.comm import Communicator
@@ -34,14 +35,16 @@ def pairwise_alltoall(comm: "Communicator", env: CoreEnv,
             f"alltoall sendbuf must have {p} rows, got {sendbuf.shape[0]}")
     out = np.empty_like(sendbuf)
     for r in range(p):
-        partner = (r - me) % p
-        if partner == me:
-            # Local row: a private-memory copy, no communication.
-            yield from env.consume(
-                env.latency.private_copy_bytes(sendbuf[me].nbytes), "copy")
-            out[me] = sendbuf[me]
-            continue
-        yield from full_exchange(
-            comm, env, sendbuf[partner], partner, out[partner], partner,
-            pairwise_send_first(env, partner))
+        with span(env, "round", r):
+            partner = (r - me) % p
+            if partner == me:
+                # Local row: a private-memory copy, no communication.
+                yield from env.consume(
+                    env.latency.private_copy_bytes(sendbuf[me].nbytes),
+                    "copy")
+                out[me] = sendbuf[me]
+                continue
+            yield from full_exchange(
+                comm, env, sendbuf[partner], partner, out[partner], partner,
+                pairwise_send_first(env, partner))
     return out

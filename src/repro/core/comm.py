@@ -34,6 +34,7 @@ from repro.core.ops import ReduceOp, SUM
 from repro.core.reduce_scatter import ring_reduce_scatter
 from repro.hw.machine import CoreEnv, Machine
 from repro.ircce.requests import NonBlockingLayer
+from repro.obs.spans import span
 from repro.rcce.api import RCCE
 
 
@@ -92,38 +93,42 @@ class Communicator:
 
     # -- collectives -----------------------------------------------------------
     def barrier(self, env: CoreEnv) -> Generator:
-        yield from self._enter(env)
-        if self.blocking:
-            yield from self.p2p.barrier(env)
-        else:
-            yield from dissemination_barrier(self, env)
+        with span(env, "barrier"):
+            yield from self._enter(env)
+            if self.blocking:
+                yield from self.p2p.barrier(env)
+            else:
+                yield from dissemination_barrier(self, env)
 
     def bcast(self, env: CoreEnv, buf: np.ndarray,
               root: int = 0) -> Generator:
         """Broadcast ``buf`` from ``root``; every rank's ``buf`` is filled
         in place and returned."""
-        yield from self._enter(env)
-        if env.size == 1:
+        with span(env, "bcast", buf.size):
+            yield from self._enter(env)
+            if env.size == 1:
+                return buf
+            if self._is_long(buf):
+                yield from _bcast.scatter_allgather_bcast(self, env, buf,
+                                                          root)
+            else:
+                yield from _bcast.binomial_bcast(self, env, buf, root)
             return buf
-        if self._is_long(buf):
-            yield from _bcast.scatter_allgather_bcast(self, env, buf, root)
-        else:
-            yield from _bcast.binomial_bcast(self, env, buf, root)
-        return buf
 
     def reduce(self, env: CoreEnv, sendbuf: np.ndarray, op: ReduceOp = SUM,
                root: int = 0) -> Generator:
         """Reduce to ``root``; returns the result there, None elsewhere."""
-        yield from self._enter(env)
-        if env.size == 1:
-            return sendbuf.copy()
-        if self._is_long(sendbuf):
-            result = yield from _reduce.reduce_scatter_gather_reduce(
-                self, env, sendbuf, op, root)
-        else:
-            result = yield from _reduce.binomial_reduce(
-                self, env, sendbuf, op, root)
-        return result
+        with span(env, "reduce", sendbuf.size):
+            yield from self._enter(env)
+            if env.size == 1:
+                return sendbuf.copy()
+            if self._is_long(sendbuf):
+                result = yield from _reduce.reduce_scatter_gather_reduce(
+                    self, env, sendbuf, op, root)
+            else:
+                result = yield from _reduce.binomial_reduce(
+                    self, env, sendbuf, op, root)
+            return result
 
     def allreduce(self, env: CoreEnv, sendbuf: np.ndarray,
                   op: ReduceOp = SUM, algo: Optional[str] = None) -> Generator:
@@ -134,60 +139,65 @@ class Communicator:
         (binomial trees), ``recursive_doubling``, ``recursive_halving``
         (Rabenseifner) or ``mpb`` (the MPB-direct algorithm).
         """
-        yield from self._enter(env)
-        if env.size == 1:
-            return sendbuf.copy()
-        if algo is None:
-            if self.use_mpb_allreduce and self._is_long(sendbuf):
-                algo = "mpb"
-            elif self._is_long(sendbuf):
-                algo = "rsag"
+        with span(env, "allreduce", sendbuf.size):
+            yield from self._enter(env)
+            if env.size == 1:
+                return sendbuf.copy()
+            if algo is None:
+                if self.use_mpb_allreduce and self._is_long(sendbuf):
+                    algo = "mpb"
+                elif self._is_long(sendbuf):
+                    algo = "rsag"
+                else:
+                    algo = "reduce_bcast"
+            if algo == "mpb":
+                result = yield from mpb_allreduce(self, env, sendbuf, op)
+            elif algo == "rsag":
+                result = yield from _allreduce.rsag_allreduce(
+                    self, env, sendbuf, op)
+            elif algo == "reduce_bcast":
+                result = yield from _allreduce.reduce_bcast_allreduce(
+                    self, env, sendbuf, op)
+            elif algo == "recursive_doubling":
+                result = yield from _alt.recursive_doubling_allreduce(
+                    self, env, sendbuf, op)
+            elif algo == "recursive_halving":
+                result = yield from _alt.recursive_halving_allreduce(
+                    self, env, sendbuf, op)
             else:
-                algo = "reduce_bcast"
-        if algo == "mpb":
-            result = yield from mpb_allreduce(self, env, sendbuf, op)
-        elif algo == "rsag":
-            result = yield from _allreduce.rsag_allreduce(
-                self, env, sendbuf, op)
-        elif algo == "reduce_bcast":
-            result = yield from _allreduce.reduce_bcast_allreduce(
-                self, env, sendbuf, op)
-        elif algo == "recursive_doubling":
-            result = yield from _alt.recursive_doubling_allreduce(
-                self, env, sendbuf, op)
-        elif algo == "recursive_halving":
-            result = yield from _alt.recursive_halving_allreduce(
-                self, env, sendbuf, op)
-        else:
-            raise KeyError(f"unknown allreduce algorithm {algo!r}")
-        return result
+                raise KeyError(f"unknown allreduce algorithm {algo!r}")
+            return result
 
     def scan(self, env: CoreEnv, sendbuf: np.ndarray,
              op: ReduceOp = SUM) -> Generator:
         """Inclusive prefix reduction: rank r returns fold(ranks 0..r)."""
-        yield from self._enter(env)
-        if env.size == 1:
-            return sendbuf.copy()
-        result = yield from _scan.recursive_doubling_scan(self, env,
-                                                          sendbuf, op)
-        return result
+        with span(env, "scan", sendbuf.size):
+            yield from self._enter(env)
+            if env.size == 1:
+                return sendbuf.copy()
+            result = yield from _scan.recursive_doubling_scan(self, env,
+                                                              sendbuf, op)
+            return result
 
     def exscan(self, env: CoreEnv, sendbuf: np.ndarray,
                op: ReduceOp = SUM) -> Generator:
         """Exclusive prefix reduction (None at rank 0)."""
-        yield from self._enter(env)
-        if env.size == 1:
-            return None
-        result = yield from _scan.exscan_from_scan(self, env, sendbuf, op)
-        return result
+        with span(env, "exscan", sendbuf.size):
+            yield from self._enter(env)
+            if env.size == 1:
+                return None
+            result = yield from _scan.exscan_from_scan(self, env, sendbuf,
+                                                       op)
+            return result
 
     def reduce_scatter(self, env: CoreEnv, sendbuf: np.ndarray,
                        op: ReduceOp = SUM) -> Generator:
         """Ring ReduceScatter; returns ``(my_block, partition)`` where
         ``my_block`` is the reduced block ``env.rank``."""
-        yield from self._enter(env)
-        result = yield from ring_reduce_scatter(self, env, sendbuf, op)
-        return result
+        with span(env, "reduce_scatter", sendbuf.size):
+            yield from self._enter(env)
+            result = yield from ring_reduce_scatter(self, env, sendbuf, op)
+            return result
 
     def allgather(self, env: CoreEnv, sendbuf: np.ndarray,
                   algo: Optional[str] = None) -> Generator:
@@ -195,36 +205,41 @@ class Communicator:
 
         ``algo``: ``ring`` (default) or ``bruck``.
         """
-        yield from self._enter(env)
-        if algo in (None, "ring"):
-            result = yield from ring_allgather(self, env, sendbuf)
-        elif algo == "bruck":
-            result = yield from _alt.bruck_allgather(self, env, sendbuf)
-        else:
-            raise KeyError(f"unknown allgather algorithm {algo!r}")
-        return result
+        with span(env, "allgather", sendbuf.size):
+            yield from self._enter(env)
+            if algo in (None, "ring"):
+                result = yield from ring_allgather(self, env, sendbuf)
+            elif algo == "bruck":
+                result = yield from _alt.bruck_allgather(self, env, sendbuf)
+            else:
+                raise KeyError(f"unknown allgather algorithm {algo!r}")
+            return result
 
     def alltoall(self, env: CoreEnv, sendbuf: np.ndarray) -> Generator:
         """Pairwise Alltoall of the ``(p, n)`` matrix ``sendbuf``."""
-        yield from self._enter(env)
-        result = yield from _alltoall.pairwise_alltoall(self, env, sendbuf)
-        return result
+        with span(env, "alltoall", sendbuf.size):
+            yield from self._enter(env)
+            result = yield from _alltoall.pairwise_alltoall(self, env,
+                                                            sendbuf)
+            return result
 
     def scatter(self, env: CoreEnv, sendbuf: Optional[np.ndarray],
                 root: int = 0) -> Generator:
         """Binomial scatter of partition blocks from ``root``; returns this
         rank's block.  Every rank passes an equally-shaped full-size buffer
         (MPI in-place style); only the root's contents matter."""
-        yield from self._enter(env)
-        if sendbuf is None:
-            raise ValueError("scatter requires a full-size buffer per rank")
-        part = self.partition(sendbuf.size, env.size)
-        if env.size == 1:
-            return sendbuf.copy()
-        yield from _bcast.binomial_scatter_ranges(self, env, sendbuf, part,
-                                                  root)
-        vrank = (env.rank - root) % env.size
-        return sendbuf[part.slice_of(vrank)].copy()
+        with span(env, "scatter", None if sendbuf is None else sendbuf.size):
+            yield from self._enter(env)
+            if sendbuf is None:
+                raise ValueError(
+                    "scatter requires a full-size buffer per rank")
+            part = self.partition(sendbuf.size, env.size)
+            if env.size == 1:
+                return sendbuf.copy()
+            yield from _bcast.binomial_scatter_ranges(self, env, sendbuf,
+                                                      part, root)
+            vrank = (env.rank - root) % env.size
+            return sendbuf[part.slice_of(vrank)].copy()
 
     def gather(self, env: CoreEnv, block: np.ndarray, total_size: int,
                root: int = 0) -> Generator:
@@ -234,20 +249,21 @@ class Communicator:
         partition (vrank-relative to ``root``).  Returns the assembled
         vector at root, None elsewhere.
         """
-        yield from self._enter(env)
-        part = self.partition(total_size, env.size)
-        vrank = (env.rank - root) % env.size
-        if block.size != part.size(vrank):
-            raise ValueError(
-                f"rank {env.rank} passed a block of {block.size} elements; "
-                f"partition expects {part.size(vrank)}")
-        vector = np.empty(total_size, dtype=block.dtype)
-        vector[part.slice_of(vrank)] = block
-        if env.size == 1:
-            return vector
-        yield from _reduce.binomial_gather_blocks(self, env, vector, part,
-                                                  root)
-        return vector if env.rank == root else None
+        with span(env, "gather", total_size):
+            yield from self._enter(env)
+            part = self.partition(total_size, env.size)
+            vrank = (env.rank - root) % env.size
+            if block.size != part.size(vrank):
+                raise ValueError(
+                    f"rank {env.rank} passed a block of {block.size} "
+                    f"elements; partition expects {part.size(vrank)}")
+            vector = np.empty(total_size, dtype=block.dtype)
+            vector[part.slice_of(vrank)] = block
+            if env.size == 1:
+                return vector
+            yield from _reduce.binomial_gather_blocks(self, env, vector,
+                                                      part, root)
+            return vector if env.rank == root else None
 
     def scatterv(self, env: CoreEnv, sendbuf: Optional[np.ndarray],
                  counts: Sequence[int], root: int = 0) -> Generator:
@@ -255,43 +271,50 @@ class Communicator:
         ``counts[(r - root) % p]`` elements.  Every rank passes a
         full-size buffer (only the root's contents matter) and the same
         ``counts``."""
-        yield from self._enter(env)
-        part = Partition(int(sum(counts)), tuple(int(c) for c in counts))
-        if sendbuf is None or sendbuf.size != part.n:
-            raise ValueError(
-                f"scatterv needs a {part.n}-element buffer on every rank")
-        vrank = (env.rank - root) % env.size
-        if env.size == 1:
-            return sendbuf.copy()
-        if len(counts) != env.size:
-            raise ValueError(
-                f"scatterv got {len(counts)} counts for {env.size} ranks")
-        yield from _bcast.binomial_scatter_ranges(self, env, sendbuf, part,
-                                                  root)
-        return sendbuf[part.slice_of(vrank)].copy()
+        with span(env, "scatterv", int(sum(counts))):
+            yield from self._enter(env)
+            part = Partition(int(sum(counts)),
+                             tuple(int(c) for c in counts))
+            if sendbuf is None or sendbuf.size != part.n:
+                raise ValueError(
+                    f"scatterv needs a {part.n}-element buffer on every "
+                    f"rank")
+            vrank = (env.rank - root) % env.size
+            if env.size == 1:
+                return sendbuf.copy()
+            if len(counts) != env.size:
+                raise ValueError(
+                    f"scatterv got {len(counts)} counts for {env.size} "
+                    f"ranks")
+            yield from _bcast.binomial_scatter_ranges(self, env, sendbuf,
+                                                      part, root)
+            return sendbuf[part.slice_of(vrank)].copy()
 
     def gatherv(self, env: CoreEnv, block: np.ndarray,
                 counts: Sequence[int], root: int = 0) -> Generator:
         """Variable-count gather (``MPI_Gatherv``): rank ``r`` contributes
         ``counts[(r - root) % p]`` elements; the root returns the
         concatenation (in vrank order), others None."""
-        yield from self._enter(env)
-        if len(counts) != env.size:
-            raise ValueError(
-                f"gatherv got {len(counts)} counts for {env.size} ranks")
-        part = Partition(int(sum(counts)), tuple(int(c) for c in counts))
-        vrank = (env.rank - root) % env.size
-        if block.size != part.size(vrank):
-            raise ValueError(
-                f"rank {env.rank} passed {block.size} elements; counts "
-                f"say {part.size(vrank)}")
-        vector = np.empty(part.n, dtype=block.dtype)
-        vector[part.slice_of(vrank)] = block
-        if env.size == 1:
-            return vector
-        yield from _reduce.binomial_gather_blocks(self, env, vector, part,
-                                                  root)
-        return vector if env.rank == root else None
+        with span(env, "gatherv", int(sum(counts))):
+            yield from self._enter(env)
+            if len(counts) != env.size:
+                raise ValueError(
+                    f"gatherv got {len(counts)} counts for {env.size} "
+                    f"ranks")
+            part = Partition(int(sum(counts)),
+                             tuple(int(c) for c in counts))
+            vrank = (env.rank - root) % env.size
+            if block.size != part.size(vrank):
+                raise ValueError(
+                    f"rank {env.rank} passed {block.size} elements; counts "
+                    f"say {part.size(vrank)}")
+            vector = np.empty(part.n, dtype=block.dtype)
+            vector[part.slice_of(vrank)] = block
+            if env.size == 1:
+                return vector
+            yield from _reduce.binomial_gather_blocks(self, env, vector,
+                                                      part, root)
+            return vector if env.rank == root else None
 
     def split(self, env: CoreEnv, color: Optional[int],
               key: Optional[int] = None) -> Generator:
@@ -309,19 +332,20 @@ class Communicator:
         Like MPI, the split itself is collective (an allgather of the
         color/key table).
         """
-        yield from self._enter(env)
-        payload = np.array([
-            float(color) if color is not None else np.nan,
-            float(key if key is not None else env.rank),
-        ])
-        table = yield from self.allgather(env, payload)
-        if color is None:
-            return None
-        members = [r for r in range(env.size) if table[r, 0] == color]
-        members.sort(key=lambda r: (table[r, 1], r))
-        cores = [env.core_of_rank(r) for r in members]
-        return CoreEnv(self.machine, members.index(env.rank),
-                       len(members), cores)
+        with span(env, "split", color):
+            yield from self._enter(env)
+            payload = np.array([
+                float(color) if color is not None else np.nan,
+                float(key if key is not None else env.rank),
+            ])
+            table = yield from self.allgather(env, payload)
+            if color is None:
+                return None
+            members = [r for r in range(env.size) if table[r, 0] == color]
+            members.sort(key=lambda r: (table[r, 1], r))
+            cores = [env.core_of_rank(r) for r in members]
+            return CoreEnv(self.machine, members.index(env.rank),
+                           len(members), cores)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"<Communicator {self.name!r} p2p={self.p2p.name} "

@@ -39,6 +39,7 @@ from repro.core.ops import ReduceOp
 from repro.hw.flags import Flag
 from repro.hw.machine import CoreEnv
 from repro.hw.mpb import MPBRegion, as_bytes
+from repro.obs.spans import span
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.comm import Communicator
@@ -108,16 +109,19 @@ def mpb_allreduce(comm: "Communicator", env: CoreEnv, sendbuf: np.ndarray,
         """Write ``data`` into my half ``k % 2`` once it is free."""
         half = k % 2
         sent, ready = prod_flags[half]
-        yield from ready.wait_set(env.core)
-        yield from ready.clear_by(env.core)
-        yield from env.consume(write_cost, "copy")
-        my_halves[half].write(as_bytes(data))
+        with span(env, "sync", k):
+            yield from ready.wait_set(env.core)
+            yield from ready.clear_by(env.core)
+        with span(env, "copy", data.nbytes):
+            yield from env.consume(write_cost, "copy")
+            my_halves[half].write(as_bytes(data))
         yield from sent.set_by(env.core)
 
     def consume_begin(k: int) -> Generator:
         """Wait until left's half ``k % 2`` is full; return its region."""
         sent, _ready = cons_flags[k % 2]
-        yield from sent.wait_set(env.core)
+        with span(env, "sync", k):
+            yield from sent.wait_set(env.core)
         return left_halves[k % 2]
 
     def consume_end(k: int) -> Generator:
@@ -134,50 +138,55 @@ def mpb_allreduce(comm: "Communicator", env: CoreEnv, sendbuf: np.ndarray,
 
     # Reduce-scatter rounds r = 0 .. p-2 (writes k = r + 1).
     for r in range(p - 1):
-        block = (me - 2 - r) % p
-        nels = part.size(block)
-        nbytes = nels * itemsize
-        region = yield from consume_begin(r)
-        # One fused pass: stream left's partial from its MPB, combine with
-        # the local input block, stream the result into my MPB.
-        cost = (round_overhead
-                + lat.mpb_stream_read(me_core, left_core, nbytes)
-                + lat.reduce_doubles(nels)
-                + lat.core_cycles(lat.lines(nbytes)
-                                  * cfg.cache_line_core_cycles))
-        yield from env.consume(cost, "compute")
-        operand = np.empty(nels, dtype=dtype)
-        region.read_into(operand.view(np.uint8).reshape(-1))
-        combined = op(sendbuf[part.slice_of(block)], operand)
-        yield from consume_end(r)
-        if r < p - 2:
-            yield from produce(
-                r + 1, combined,
-                lat.mpb_stream_write(me_core, me_core, nbytes))
-        else:
-            # Final round: 'combined' is my fully reduced block (index me).
-            result[part.slice_of(me)] = combined
-            yield from produce(
-                r + 1, combined,
-                lat.mpb_stream_write(me_core, me_core, nbytes))
+        with span(env, "round", r):
+            block = (me - 2 - r) % p
+            nels = part.size(block)
+            nbytes = nels * itemsize
+            region = yield from consume_begin(r)
+            # One fused pass: stream left's partial from its MPB, combine
+            # with the local input block, stream the result into my MPB.
+            cost = (round_overhead
+                    + lat.mpb_stream_read(me_core, left_core, nbytes)
+                    + lat.reduce_doubles(nels)
+                    + lat.core_cycles(lat.lines(nbytes)
+                                      * cfg.cache_line_core_cycles))
+            with span(env, "reduce", nels):
+                yield from env.consume(cost, "compute")
+            operand = np.empty(nels, dtype=dtype)
+            region.read_into(operand.view(np.uint8).reshape(-1))
+            combined = op(sendbuf[part.slice_of(block)], operand)
+            yield from consume_end(r)
+            if r < p - 2:
+                yield from produce(
+                    r + 1, combined,
+                    lat.mpb_stream_write(me_core, me_core, nbytes))
+            else:
+                # Final round: 'combined' is my reduced block (index me).
+                result[part.slice_of(me)] = combined
+                yield from produce(
+                    r + 1, combined,
+                    lat.mpb_stream_write(me_core, me_core, nbytes))
 
     # Allgather rounds g = 0 .. p-2 (reads of writes k = p-1+g).
     for g in range(p - 1):
-        block = (me - 1 - g) % p
-        nels = part.size(block)
-        nbytes = nels * itemsize
-        region = yield from consume_begin(p - 1 + g)
-        yield from env.consume(
-            round_overhead + lat.mpb_read_bytes(me_core, left_core, nbytes),
-            "copy")
-        incoming = np.empty(nels, dtype=dtype)
-        region.read_into(incoming.view(np.uint8).reshape(-1))
-        result[part.slice_of(block)] = incoming
-        yield from consume_end(p - 1 + g)
-        if g < p - 2:
-            # Forward in-transit through my MPB for my right neighbour.
-            yield from produce(
-                p + g, incoming,
-                lat.mpb_stream_write(me_core, me_core, nbytes))
+        with span(env, "round", p - 1 + g):
+            block = (me - 1 - g) % p
+            nels = part.size(block)
+            nbytes = nels * itemsize
+            region = yield from consume_begin(p - 1 + g)
+            with span(env, "copy", nbytes):
+                yield from env.consume(
+                    round_overhead
+                    + lat.mpb_read_bytes(me_core, left_core, nbytes),
+                    "copy")
+            incoming = np.empty(nels, dtype=dtype)
+            region.read_into(incoming.view(np.uint8).reshape(-1))
+            result[part.slice_of(block)] = incoming
+            yield from consume_end(p - 1 + g)
+            if g < p - 2:
+                # Forward in-transit through my MPB for my right neighbour.
+                yield from produce(
+                    p + g, incoming,
+                    lat.mpb_stream_write(me_core, me_core, nbytes))
 
     return result

@@ -28,6 +28,7 @@ from repro.core.blocks import Partition
 from repro.core.exchange import full_exchange, ring_send_first
 from repro.core.ops import ReduceOp
 from repro.hw.machine import CoreEnv
+from repro.obs.spans import span
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.comm import Communicator
@@ -52,16 +53,18 @@ def ring_reduce_scatter(comm: "Communicator", env: CoreEnv,
     vme = (me - shift) % p
     send_first = ring_send_first(env)
     for r in range(p - 1):
-        send_block = (vme - 1 - r) % p
-        recv_block = (vme - 2 - r) % p
-        send_data = acc[part.slice_of(send_block)]
-        recv_buf = np.empty(part.size(recv_block), dtype=acc.dtype)
-        yield from full_exchange(comm, env, send_data, right, recv_buf,
-                                 left, send_first)
-        nels = part.size(recv_block)
-        if nels:
-            yield from env.consume(
-                env.latency.reduce_doubles(nels), "compute")
-            sl = part.slice_of(recv_block)
-            acc[sl] = op(acc[sl], recv_buf)
+        with span(env, "round", r):
+            send_block = (vme - 1 - r) % p
+            recv_block = (vme - 2 - r) % p
+            send_data = acc[part.slice_of(send_block)]
+            recv_buf = np.empty(part.size(recv_block), dtype=acc.dtype)
+            yield from full_exchange(comm, env, send_data, right, recv_buf,
+                                     left, send_first)
+            nels = part.size(recv_block)
+            if nels:
+                with span(env, "reduce", nels):
+                    yield from env.consume(
+                        env.latency.reduce_doubles(nels), "compute")
+                sl = part.slice_of(recv_block)
+                acc[sl] = op(acc[sl], recv_buf)
     return acc[part.slice_of(vme)].copy(), part

@@ -75,7 +75,8 @@ class MPB:
     """One core's message-passing buffer."""
 
     __slots__ = ("core_id", "size", "line_bytes", "payload_offset",
-                 "data", "_alloc_ptr")
+                 "data", "_alloc_ptr", "io_reads", "io_read_bytes",
+                 "io_writes", "io_write_bytes")
 
     def __init__(self, core_id: int, size: int, line_bytes: int,
                  flag_bytes: int):
@@ -87,6 +88,7 @@ class MPB:
         self.payload_offset = flag_bytes
         self.data = np.zeros(size, dtype=np.uint8)
         self._alloc_ptr = flag_bytes
+        self.reset_counters()
 
     # -- raw access ---------------------------------------------------------
     def write(self, offset: int, raw: np.ndarray) -> None:
@@ -96,6 +98,8 @@ class MPB:
                 f"{offset} out of bounds (size {self.size})"
             )
         self.data[offset:offset + raw.size] = raw
+        self.io_writes += 1
+        self.io_write_bytes += int(raw.size)
 
     def read(self, offset: int, nbytes: int) -> np.ndarray:
         if offset < 0 or offset + nbytes > self.size:
@@ -103,6 +107,8 @@ class MPB:
                 f"MPB[{self.core_id}]: read of {nbytes} B at offset "
                 f"{offset} out of bounds (size {self.size})"
             )
+        self.io_reads += 1
+        self.io_read_bytes += nbytes
         return self.data[offset:offset + nbytes].copy()
 
     # -- allocation ---------------------------------------------------------
@@ -131,6 +137,14 @@ class MPB:
     def reset_alloc(self) -> None:
         """Release all payload allocations (data bytes are untouched)."""
         self._alloc_ptr = self.payload_offset
+
+    def reset_counters(self) -> None:
+        """Zero the access counters (reads/writes of actual SRAM bytes,
+        used by the observability layer's metrics exports)."""
+        self.io_reads = 0
+        self.io_read_bytes = 0
+        self.io_writes = 0
+        self.io_write_bytes = 0
 
     def clear(self) -> None:
         self.data[:] = 0

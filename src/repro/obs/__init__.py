@@ -1,0 +1,67 @@
+"""Observability: phase-scoped spans, trace export, collective profiling.
+
+The paper's methodology is profiling-driven — every optimization came
+from seeing where cores burn time.  This package is the simulator's
+version of that instrument:
+
+* :mod:`repro.obs.spans` — ``span(env, name)`` context managers the
+  communication layers wrap collective calls, ring rounds and protocol
+  phases in; span-tree reassembly and exclusive-time attribution.
+* :mod:`repro.obs.export` — Chrome ``trace_event`` JSON (open in
+  ``chrome://tracing`` or https://ui.perfetto.dev) and flat CSV/JSON
+  metrics (per-core busy/wait, per-mesh-link traffic, MPB counters).
+* :mod:`repro.obs.profile` — :func:`profile_collective`, the engine of
+  the ``python -m repro profile`` subcommand.
+
+See ``docs/observability.md`` for the end-to-end workflow.
+"""
+
+from repro.obs.export import (
+    WAIT_STATES,
+    account_metrics,
+    chrome_trace_events,
+    link_traffic,
+    mpb_counters,
+    run_metrics,
+    write_chrome_trace,
+    write_metrics_csv,
+    write_metrics_json,
+)
+from repro.obs.spans import (
+    Span,
+    collective_spans,
+    extract_spans,
+    phase_times,
+    round_times,
+    span,
+)
+
+__all__ = [
+    "CollectiveProfile",
+    "Span",
+    "WAIT_STATES",
+    "account_metrics",
+    "chrome_trace_events",
+    "collective_spans",
+    "extract_spans",
+    "link_traffic",
+    "mpb_counters",
+    "phase_times",
+    "profile_collective",
+    "round_times",
+    "run_metrics",
+    "span",
+    "write_chrome_trace",
+    "write_metrics_csv",
+    "write_metrics_json",
+]
+
+
+def __getattr__(name: str):
+    # repro.obs.profile pulls in the bench runner, whose communicator
+    # imports span() from this package — importing it lazily keeps the
+    # package importable from inside repro.core.comm (PEP 562).
+    if name in ("CollectiveProfile", "profile_collective"):
+        from repro.obs import profile
+        return getattr(profile, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,204 @@
+"""Phase-scoped spans on top of the raw :class:`~repro.sim.trace.Tracer`.
+
+The tracer's native vocabulary is point records; the paper's profiling
+methodology ("cores spend up to 50% of their time in rcce_wait_until",
+the Fig. 10 wait profile) needs *intervals* attributable to a collective,
+a round of that collective, and a phase within the round (sync, copy,
+mesh transfer, reduce op).  This module provides
+
+* :func:`span` — a context manager the communication layers wrap phases
+  in.  It emits ``<name>.begin`` / ``<name>.end`` record pairs, the
+  convention :class:`~repro.util.timeline.Timeline` already understands.
+  With a disabled tracer it is a shared no-op object: one attribute check
+  and no allocation per call site.
+* :class:`Span` / :func:`extract_spans` — reassemble the begin/end pairs
+  into a properly nested span tree per actor (collective > round > phase).
+* :func:`phase_times` / :func:`round_times` — attribute *exclusive* time
+  (time inside a span but outside its children) to phase names, and
+  per-round totals, the numbers the wait-profile table and the search/
+  validation workflows of the related work consume.
+
+All spans are pure observation: they never consume simulated time, so an
+instrumented run and an uninstrumented run have identical timing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Iterable, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.trace import TraceRecord
+
+#: Span names the collective layers emit, grouped by level.
+COLLECTIVE_SPANS = ("allreduce", "reduce", "reduce_scatter", "allgather",
+                    "alltoall", "bcast", "barrier", "scan", "exscan",
+                    "scatter", "gather", "scatterv", "gatherv", "split")
+ROUND_SPAN = "round"
+PHASE_SPANS = ("sync", "copy", "transfer", "reduce", "send", "recv")
+
+
+class _NullSpan:
+    """Shared no-op context manager for the disabled-tracer fast path."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _LiveSpan:
+    """Emits the ``.begin`` / ``.end`` record pair around a block."""
+
+    __slots__ = ("_env", "_tracer", "name", "detail")
+
+    def __init__(self, env: Any, tracer: Any, name: str, detail: Any):
+        self._env = env
+        self._tracer = tracer
+        self.name = name
+        self.detail = detail
+
+    def __enter__(self) -> "_LiveSpan":
+        self._tracer.emit(self._env.now, f"core{self._env.core_id}",
+                          f"{self.name}.begin", self.detail)
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self._tracer.emit(self._env.now, f"core{self._env.core_id}",
+                          f"{self.name}.end", self.detail)
+        return None
+
+
+def span(env: Any, name: str, detail: Any = None) -> Any:
+    """Scope a phase of simulated work for the tracer.
+
+    Usage inside an SPMD generator (the ``with`` block may contain
+    ``yield from``s; begin/end read ``env.now`` at entry/exit)::
+
+        with span(env, "round", r):
+            yield from full_exchange(...)
+
+    ``env`` is anything with ``now``, ``core_id`` and a reachable tracer
+    (a :class:`~repro.hw.machine.CoreEnv`).  Disabled tracer → shared
+    no-op, no records, no allocation.
+    """
+    tracer = env.sim.tracer
+    if not tracer.enabled:
+        return _NULL_SPAN
+    return _LiveSpan(env, tracer, name, detail)
+
+
+@dataclass(eq=False)
+class Span:
+    """One reassembled interval of one actor's activity."""
+
+    actor: str
+    name: str
+    start_ps: int
+    end_ps: int
+    detail: Any = None
+    depth: int = 0
+    parent: Optional["Span"] = None
+    children: list["Span"] = field(default_factory=list)
+
+    @property
+    def duration_ps(self) -> int:
+        return self.end_ps - self.start_ps
+
+    def exclusive_ps(self) -> int:
+        """Duration minus the time covered by direct children."""
+        return self.duration_ps - sum(c.duration_ps for c in self.children)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<Span {self.actor} {self.name} "
+                f"[{self.start_ps}, {self.end_ps}) depth={self.depth}>")
+
+
+def extract_spans(records: Iterable["TraceRecord"]) -> list[Span]:
+    """Rebuild nested spans from ``.begin``/``.end`` record pairs.
+
+    Nesting is per actor and purely stack-based: a span that begins while
+    another span of the same actor is open becomes its child.  Unclosed
+    spans are dropped (a trace cut off by a capacity limit stays usable).
+    Records whose tag is not a begin/end pair are ignored.
+    """
+    done: list[Span] = []
+    open_stack: dict[str, list[Span]] = {}
+    for rec in records:
+        if rec.tag.endswith(".begin"):
+            stack = open_stack.setdefault(rec.actor, [])
+            parent = stack[-1] if stack else None
+            sp = Span(rec.actor, rec.tag[:-6], rec.time_ps, rec.time_ps,
+                      rec.detail, depth=len(stack), parent=parent)
+            stack.append(sp)
+        elif rec.tag.endswith(".end"):
+            name = rec.tag[:-4]
+            stack = open_stack.get(rec.actor, [])
+            # Close the innermost open span of this name; anything opened
+            # deeper that never closed is discarded as malformed.
+            index = None
+            for i in range(len(stack) - 1, -1, -1):
+                if stack[i].name == name:
+                    index = i
+                    break
+            if index is None:
+                continue
+            sp = stack[index]
+            del stack[index:]
+            sp.end_ps = rec.time_ps
+            if sp.parent is not None and any(sp.parent is s for s in stack):
+                sp.parent.children.append(sp)
+            else:
+                sp.parent = None
+                sp.depth = 0
+            done.append(sp)
+    done.sort(key=lambda s: (s.start_ps, -s.duration_ps))
+    return done
+
+
+def phase_times(spans: Iterable[Span],
+                by_actor: bool = False) -> dict:
+    """Exclusive time per span name: ``{name: ps}`` (or
+    ``{actor: {name: ps}}`` with ``by_actor=True``).
+
+    Exclusive attribution makes the numbers additive: summing every
+    phase of one actor reproduces that actor's total spanned time, so a
+    wait-profile table built from these entries is self-consistent.
+    """
+    out: dict = {}
+    for sp in spans:
+        excl = sp.exclusive_ps()
+        if by_actor:
+            bucket = out.setdefault(sp.actor, {})
+        else:
+            bucket = out
+        bucket[sp.name] = bucket.get(sp.name, 0) + excl
+    return out
+
+
+def round_times(spans: Iterable[Span]) -> dict[Any, dict[str, int]]:
+    """Per-round aggregation: ``{round_detail: {actor: duration_ps}}``.
+
+    A round's detail is whatever the emitting algorithm passed (the ring
+    algorithms pass the round index ``r``), so the caller can line the
+    rows up with the algorithm structure.
+    """
+    out: dict[Any, dict[str, int]] = {}
+    for sp in spans:
+        if sp.name != ROUND_SPAN:
+            continue
+        bucket = out.setdefault(sp.detail, {})
+        bucket[sp.actor] = bucket.get(sp.actor, 0) + sp.duration_ps
+    return out
+
+
+def collective_spans(spans: Iterable[Span]) -> list[Span]:
+    """Only the top-level collective spans (depth 0, known names)."""
+    return [s for s in spans
+            if s.depth == 0 and s.name in COLLECTIVE_SPANS]

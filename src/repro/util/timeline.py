@@ -25,8 +25,10 @@ GLYPHS = {
     "recv": "R",
     "copy": "c",
     "wait": ".",
+    "sync": ".",
     "compute": "#",
     "reduce": "+",
+    "round": "-",
 }
 
 
@@ -67,7 +69,11 @@ class Timeline:
                  f"1 char = {bucket / 1e6:.2f} us"]
         for actor in sorted(self.spans):
             row = [" "] * width
-            for start, end, kind in self.spans[actor]:
+            # Paint longest spans first so nested phase spans (round,
+            # sync, ...) stay visible on top of their enclosing spans.
+            ordered = sorted(self.spans[actor],
+                             key=lambda s: -(s[1] - s[0]))
+            for start, end, kind in ordered:
                 glyph = GLYPHS.get(kind, kind[:1] or "?")
                 b0 = min(width - 1, (start - self.t_min) // bucket)
                 b1 = min(width - 1, max(b0, (end - self.t_min - 1) // bucket))

@@ -1,0 +1,192 @@
+"""Span reassembly: nesting, attribution, exclusive-time arithmetic."""
+
+import numpy as np
+import pytest
+
+from repro.core import make_communicator
+from repro.hw import Machine, SCCConfig
+from repro.obs.spans import (
+    COLLECTIVE_SPANS,
+    collective_spans,
+    extract_spans,
+    phase_times,
+    round_times,
+    span,
+)
+from repro.sim.trace import TraceRecord, Tracer
+
+
+def rec(t, actor, tag, detail=None):
+    return TraceRecord(t, actor, tag, detail)
+
+
+class TestExtractSpans:
+    def test_flat_span(self):
+        spans = extract_spans([rec(10, "core0", "copy.begin"),
+                               rec(30, "core0", "copy.end")])
+        (sp,) = spans
+        assert (sp.actor, sp.name) == ("core0", "copy")
+        assert (sp.start_ps, sp.end_ps, sp.duration_ps) == (10, 30, 20)
+        assert sp.depth == 0 and sp.parent is None and sp.children == []
+
+    def test_nesting_parent_child(self):
+        spans = extract_spans([
+            rec(0, "core0", "round.begin", 0),
+            rec(5, "core0", "copy.begin"),
+            rec(15, "core0", "copy.end"),
+            rec(20, "core0", "reduce.begin"),
+            rec(30, "core0", "reduce.end"),
+            rec(40, "core0", "round.end", 0),
+        ])
+        by_name = {s.name: s for s in spans}
+        outer = by_name["round"]
+        assert by_name["copy"].parent is outer
+        assert by_name["reduce"].parent is outer
+        assert by_name["copy"].depth == 1
+        assert [c.name for c in outer.children] == ["copy", "reduce"]
+        # Exclusive = 40 total - 10 copy - 10 reduce.
+        assert outer.exclusive_ps() == 20
+
+    def test_actors_do_not_interleave(self):
+        spans = extract_spans([
+            rec(0, "core0", "send.begin"),
+            rec(1, "core1", "recv.begin"),
+            rec(2, "core0", "send.end"),
+            rec(3, "core1", "recv.end"),
+        ])
+        assert {(s.actor, s.name, s.depth) for s in spans} == {
+            ("core0", "send", 0), ("core1", "recv", 0)}
+
+    def test_unclosed_span_dropped(self):
+        spans = extract_spans([rec(0, "core0", "round.begin"),
+                               rec(5, "core0", "copy.begin"),
+                               rec(9, "core0", "copy.end")])
+        assert [s.name for s in spans] == ["copy"]
+
+    def test_unmatched_end_ignored(self):
+        assert extract_spans([rec(5, "core0", "copy.end")]) == []
+
+    def test_point_records_ignored(self):
+        assert extract_spans([rec(5, "core0", "flag.set"),
+                              rec(6, "core0", "deadlock")]) == []
+
+    def test_sorted_by_start_then_outermost_first(self):
+        spans = extract_spans([
+            rec(0, "core0", "round.begin"),
+            rec(0, "core0", "copy.begin"),
+            rec(5, "core0", "copy.end"),
+            rec(9, "core0", "round.end"),
+        ])
+        assert [s.name for s in spans] == ["round", "copy"]
+
+
+class TestAttribution:
+    RECORDS = [
+        rec(0, "core0", "round.begin", 0),
+        rec(2, "core0", "copy.begin"),
+        rec(6, "core0", "copy.end"),
+        rec(10, "core0", "round.end", 0),
+        rec(10, "core0", "round.begin", 1),
+        rec(11, "core0", "copy.begin"),
+        rec(17, "core0", "copy.end"),
+        rec(20, "core0", "round.end", 1),
+        rec(0, "core1", "round.begin", 0),
+        rec(8, "core1", "round.end", 0),
+    ]
+
+    def test_phase_times_exclusive_and_additive(self):
+        spans = extract_spans(self.RECORDS)
+        times = phase_times(spans)
+        assert times["copy"] == 4 + 6
+        # round exclusive: (10-4) + (10-6) on core0, 8 on core1.
+        assert times["round"] == 6 + 4 + 8
+        # Additivity: phases sum to total top-level spanned time.
+        top = sum(s.duration_ps for s in spans if s.depth == 0)
+        assert sum(times.values()) == top
+
+    def test_phase_times_by_actor(self):
+        times = phase_times(extract_spans(self.RECORDS), by_actor=True)
+        assert times["core1"] == {"round": 8}
+        assert times["core0"]["copy"] == 10
+
+    def test_round_times_keyed_by_detail(self):
+        rounds = round_times(extract_spans(self.RECORDS))
+        assert rounds[0] == {"core0": 10, "core1": 8}
+        assert rounds[1] == {"core0": 10}
+
+
+class TestSpanContextManager:
+    def test_disabled_tracer_is_shared_noop(self):
+        class Env:
+            class sim:
+                tracer = Tracer(enabled=False)
+        a, b = span(Env, "copy"), span(Env, "reduce", 7)
+        assert a is b  # one shared object, no allocation per call site
+        with a:
+            pass
+        assert Env.sim.tracer.records == []
+
+    def test_enabled_tracer_emits_pair(self):
+        tracer = Tracer(enabled=True)
+
+        class Env:
+            now = 42
+            core_id = 3
+
+            class sim:
+                pass
+        Env.sim.tracer = tracer
+        with span(Env, "copy", detail=128):
+            Env.now = 99
+        tags = [(r.time_ps, r.actor, r.tag, r.detail)
+                for r in tracer.records]
+        assert tags == [(42, "core3", "copy.begin", 128),
+                        (99, "core3", "copy.end", 128)]
+
+
+class TestInstrumentedCollectives:
+    """The communication layers really emit the documented span tree."""
+
+    @pytest.fixture(scope="class")
+    def traced(self):
+        tracer = Tracer(enabled=True)
+        machine = Machine(SCCConfig(), tracer=tracer)
+        comm = make_communicator(machine, "mpb")
+        rng = np.random.default_rng(1)
+        inputs = [rng.normal(size=64) for _ in range(8)]
+
+        def program(env):
+            out = yield from comm.allreduce(env, inputs[env.rank])
+            return out
+
+        result = machine.run_spmd(program, ranks=list(range(8)))
+        assert np.allclose(result.values[0], np.sum(inputs, axis=0))
+        return extract_spans(tracer.records)
+
+    def test_every_core_has_one_collective_span(self, traced):
+        tops = collective_spans(traced)
+        assert sorted(s.actor for s in tops) == [f"core{i}"
+                                                 for i in range(8)]
+        assert all(s.name == "allreduce" for s in tops)
+
+    def test_rounds_nest_under_collective(self, traced):
+        rounds = [s for s in traced if s.name == "round"]
+        assert rounds
+        assert all(s.parent is not None
+                   and s.parent.name in COLLECTIVE_SPANS + ("round",)
+                   for s in rounds)
+
+    def test_phases_nest_under_rounds(self, traced):
+        phases = [s for s in traced if s.name in ("sync", "reduce")
+                  and s.depth > 0]
+        assert phases
+        assert all(s.parent.name in ("round", "allreduce")
+                   for s in phases)
+
+    def test_spans_cover_positive_time_within_parent(self, traced):
+        for s in traced:
+            assert s.duration_ps >= 0
+            if s.parent is not None:
+                assert s.parent.start_ps <= s.start_ps
+                assert s.end_ps <= s.parent.end_ps
+                assert s.parent.exclusive_ps() >= 0

@@ -1,0 +1,59 @@
+"""The documentation stays healthy: links resolve, examples run.
+
+Wires ``tools/check_docs.py`` into the test suite.  Set
+``REPRO_SKIP_EXAMPLE_SMOKE=1`` to skip the (seconds-scale) example runs
+when iterating on unrelated code.
+"""
+
+import os
+import pathlib
+import sys
+
+import pytest
+
+TOOLS = pathlib.Path(__file__).resolve().parent.parent / "tools"
+sys.path.insert(0, str(TOOLS))
+
+import check_docs  # noqa: E402
+
+
+class TestLinkChecker:
+    def test_all_repo_links_resolve(self):
+        assert check_docs.check_links() == []
+
+    def test_covers_the_documentation_set(self):
+        names = {os.path.basename(p) for p in check_docs.doc_files()}
+        assert {"README.md", "api.md", "observability.md",
+                "collectives.md"} <= names
+
+    def test_detects_broken_links(self, tmp_path, monkeypatch):
+        docs = tmp_path / "docs"
+        docs.mkdir()
+        (tmp_path / "good.md").write_text("[ok](docs/bad.md)\n")
+        (docs / "bad.md").write_text(
+            "[yes](../good.md) [no](missing.md#frag)\n")
+        monkeypatch.setattr(check_docs, "REPO_ROOT", str(tmp_path))
+        failures = check_docs.check_links()
+        assert len(failures) == 1
+        assert "docs/bad.md:1" in failures[0]
+        assert "missing.md" in failures[0]
+
+    def test_external_and_anchor_links_skipped(self, tmp_path, monkeypatch):
+        docs = tmp_path / "docs"
+        docs.mkdir()
+        (tmp_path / "r.md").write_text(
+            "[a](https://example.org/x) [b](#section) [c](mailto:x@y.z)\n")
+        monkeypatch.setattr(check_docs, "REPO_ROOT", str(tmp_path))
+        assert check_docs.check_links() == []
+
+    def test_cli_entrypoint(self, capsys):
+        assert check_docs.main(["--links"]) == 0
+
+
+@pytest.mark.skipif(os.environ.get("REPRO_SKIP_EXAMPLE_SMOKE") == "1",
+                    reason="example smoke runs disabled by env")
+class TestExamplesSmoke:
+    def test_every_example_runs_with_smoke(self):
+        scripts = check_docs.example_scripts()
+        assert len(scripts) >= 7
+        assert check_docs.check_examples() == []

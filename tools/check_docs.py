@@ -1,0 +1,131 @@
+#!/usr/bin/env python
+"""Documentation checker: intra-repo links and runnable examples.
+
+Two checks, both wired into the test suite (``tests/test_docs_check.py``):
+
+* ``--links`` (default) — every relative markdown link in README.md,
+  the root ``*.md`` files and ``docs/*.md`` must resolve to a file or
+  directory inside the repository.  External URLs (``http(s)://``,
+  ``mailto:``) and pure anchors (``#...``) are skipped; a link's
+  ``#fragment`` suffix is stripped before resolution.
+* ``--examples`` — run every ``examples/*.py`` with ``--smoke`` (the
+  seconds-scale sizes every example supports) and fail on a non-zero
+  exit.
+
+Exit status: 0 when everything passes, 1 otherwise.
+
+Run:  python tools/check_docs.py [--links] [--examples] [--verbose]
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import subprocess
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+#: [text](target) — target captured up to the closing paren (no nesting).
+_LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+
+#: Link targets that are not intra-repo file references.
+_EXTERNAL = ("http://", "https://", "mailto:", "#")
+
+
+def doc_files() -> list[str]:
+    """README, the other root-level .md files, and docs/*.md."""
+    paths = []
+    for name in sorted(os.listdir(REPO_ROOT)):
+        if name.endswith(".md"):
+            paths.append(os.path.join(REPO_ROOT, name))
+    docs = os.path.join(REPO_ROOT, "docs")
+    for name in sorted(os.listdir(docs)):
+        if name.endswith(".md"):
+            paths.append(os.path.join(docs, name))
+    return paths
+
+
+def iter_links(path: str):
+    """Yield (line_number, target) for every markdown link in ``path``."""
+    with open(path) as fh:
+        for lineno, line in enumerate(fh, 1):
+            for match in _LINK_RE.finditer(line):
+                yield lineno, match.group(1)
+
+
+def check_links(verbose: bool = False) -> list[str]:
+    """Return a list of human-readable failures (empty = all good)."""
+    failures = []
+    checked = 0
+    for doc in doc_files():
+        base = os.path.dirname(doc)
+        for lineno, target in iter_links(doc):
+            if target.startswith(_EXTERNAL):
+                continue
+            checked += 1
+            resolved = os.path.normpath(
+                os.path.join(base, target.split("#", 1)[0]))
+            if not os.path.exists(resolved):
+                rel = os.path.relpath(doc, REPO_ROOT)
+                failures.append(f"{rel}:{lineno}: broken link -> {target}")
+            elif verbose:
+                rel = os.path.relpath(doc, REPO_ROOT)
+                print(f"ok   {rel}: {target}")
+    print(f"links: {checked} intra-repo links checked, "
+          f"{len(failures)} broken")
+    return failures
+
+
+def example_scripts() -> list[str]:
+    examples = os.path.join(REPO_ROOT, "examples")
+    return [os.path.join(examples, name)
+            for name in sorted(os.listdir(examples))
+            if name.endswith(".py")]
+
+
+def check_examples(verbose: bool = False) -> list[str]:
+    """Run every example with --smoke; return failures."""
+    failures = []
+    env = dict(os.environ)
+    src = os.path.join(REPO_ROOT, "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    for script in example_scripts():
+        name = os.path.relpath(script, REPO_ROOT)
+        proc = subprocess.run(
+            [sys.executable, script, "--smoke"],
+            capture_output=True, text=True, env=env, timeout=300)
+        if proc.returncode != 0:
+            tail = "\n".join(proc.stderr.strip().splitlines()[-5:])
+            failures.append(f"{name}: exit {proc.returncode}\n{tail}")
+        elif verbose:
+            print(f"ok   {name}")
+    print(f"examples: {len(example_scripts())} run with --smoke, "
+          f"{len(failures)} failed")
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--links", action="store_true",
+                        help="check intra-repo markdown links")
+    parser.add_argument("--examples", action="store_true",
+                        help="run examples/*.py with --smoke")
+    parser.add_argument("--verbose", action="store_true")
+    args = parser.parse_args(argv)
+    if not args.links and not args.examples:
+        args.links = True  # default check
+
+    failures = []
+    if args.links:
+        failures += check_links(args.verbose)
+    if args.examples:
+        failures += check_examples(args.verbose)
+    for failure in failures:
+        print(f"FAIL {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
