@@ -96,9 +96,7 @@ def measure_collective(kind: str, stack: str, size: int, *,
     cores = cores if cores is not None else default_cores()
     config = config if config is not None else SCCConfig()
     machine = Machine(config)
-    if cores > machine.num_cores:
-        raise ValueError(f"requested {cores} cores; machine has "
-                         f"{machine.num_cores}")
+    config.check_rank_count(cores)
     comm = make_communicator(machine, stack)
     rng = np.random.default_rng(seed)
     inputs = [rng.normal(size=size) for _ in range(cores)]

@@ -10,6 +10,7 @@ Examples::
     python -m repro sweep allreduce --stacks blocking mpb --sizes 552:577:4
     python -m repro gcmc --stack mpb --cycles 5
     python -m repro profile allreduce --stack mpb --sizes 1024
+    python -m repro chaos --profile heavy --seeds 1:6 --trace-out chaos
 """
 
 from __future__ import annotations
@@ -145,6 +146,57 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_seeds(spec: str) -> list[int]:
+    if ":" in spec:
+        start, stop = (int(x) for x in spec.split(":"))
+        return list(range(start, stop))
+    return [int(x) for x in spec.split(",")]
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.faults.campaign import (
+        CHAOS_KINDS,
+        CHAOS_PROFILES,
+        run_campaign,
+        run_trial,
+    )
+
+    kinds = tuple(args.kinds) if args.kinds else CHAOS_KINDS
+    stacks = tuple(args.stacks) if args.stacks else tuple(STACKS)
+    seeds = _parse_seeds(args.seeds)
+    camp = run_campaign(profile=args.profile, kinds=kinds, stacks=stacks,
+                        seeds=seeds, size=args.size, cores=args.cores,
+                        iters=args.iters, watchdog_us=args.watchdog_us)
+    print(camp.survival_table())
+    print()
+    print("injected faults:",
+          ", ".join(f"{k}={n}" for k, n in camp.fault_totals().items())
+          or "(none)")
+    for t in camp.failures():
+        print(f"CONTRACT VIOLATION: {t.kind}/{t.stack} seed={t.seed} "
+              f"-> {t.outcome}: {t.detail}")
+    if args.trace_out:
+        import os
+
+        from repro.faults.plan import FaultPlan
+        from repro.obs.export import write_chrome_trace
+        from repro.obs.spans import extract_spans
+
+        plan = CHAOS_PROFILES[args.profile]
+        traced = run_trial(kinds[0], stacks[0],
+                           plan.with_seed(seeds[0]), size=args.size,
+                           cores=args.cores, iters=args.iters,
+                           watchdog_us=args.watchdog_us, trace=True)
+        os.makedirs(args.trace_out, exist_ok=True)
+        path = os.path.join(
+            args.trace_out,
+            f"chaos_{kinds[0]}_{stacks[0]}_{args.profile}.trace.json")
+        write_chrome_trace(path, traced.records,
+                           extract_spans(traced.records))
+        print(f"wrote {path}")
+    return 1 if camp.failures() else 0
+
+
 def _cmd_paper(args: argparse.Namespace) -> int:
     """One-shot reproduction digest: Fig. 6, the Section-IV chain, and a
     compact Fig. 10 (full Fig. 9 panels via `fig9`, they take minutes)."""
@@ -210,6 +262,28 @@ def build_parser() -> argparse.ArgumentParser:
     pprof.add_argument("--no-trace", action="store_true",
                        help="skip span tracing (accounts-only profile)")
     pprof.set_defaults(func=_cmd_profile)
+
+    pchaos = sub.add_parser(
+        "chaos",
+        help="randomized fault campaign over collectives x stacks")
+    pchaos.add_argument("--profile", default="default",
+                        choices=["off", "light", "default", "heavy"])
+    pchaos.add_argument("--kinds", nargs="+", choices=list(KINDS))
+    pchaos.add_argument("--stacks", nargs="+", choices=list(STACKS))
+    pchaos.add_argument("--seeds", default="1:4",
+                        help="start:stop range or comma list")
+    pchaos.add_argument("--size", type=int, default=64,
+                        help="vector length per rank (doubles)")
+    pchaos.add_argument("--cores", type=int, default=6)
+    pchaos.add_argument("--iters", type=int, default=1,
+                        help="repeat each collective (exercises the MPB "
+                             "degradation fallback)")
+    pchaos.add_argument("--watchdog-us", type=float, default=50_000.0,
+                        help="virtual-time watchdog budget per trial")
+    pchaos.add_argument("--trace-out", default=None,
+                        help="directory for a Chrome trace of one "
+                             "traced trial")
+    pchaos.set_defaults(func=_cmd_chaos)
 
     pp = sub.add_parser("paper",
                         help="one-shot digest: Fig. 6 + Section IV + Fig. 10")

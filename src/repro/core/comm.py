@@ -151,7 +151,28 @@ class Communicator:
                 else:
                     algo = "reduce_bcast"
             if algo == "mpb":
-                result = yield from mpb_allreduce(self, env, sendbuf, op)
+                faults = self.machine.faults
+                if faults is not None:
+                    # Graceful degradation: count MPB-allreduce epochs per
+                    # rank and consult the injector's rank-consistent
+                    # verdicts — every rank sees the same epoch number and
+                    # the same threshold crossing, so either all ranks
+                    # enter the MPB algorithm or all fall back to the
+                    # private-memory ring (a split decision would deadlock
+                    # the handshake).
+                    epoch = env.data.get("mpbar.epoch", 0)
+                    env.data["mpbar.epoch"] = epoch + 1
+                    if faults.mpb_degraded(epoch):
+                        faults.record("mpb_fallback", f"core{env.core_id}",
+                                      {"epoch": epoch, "algo": "rsag"})
+                        with span(env, "fallback", epoch):
+                            result = yield from _allreduce.rsag_allreduce(
+                                self, env, sendbuf, op)
+                        return result
+                    result = yield from mpb_allreduce(
+                        self, env, sendbuf, op, fault_epoch=epoch)
+                else:
+                    result = yield from mpb_allreduce(self, env, sendbuf, op)
             elif algo == "rsag":
                 result = yield from _allreduce.rsag_allreduce(
                     self, env, sendbuf, op)

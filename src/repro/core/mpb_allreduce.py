@@ -72,8 +72,16 @@ def _pair_flags(env: CoreEnv, producer: int, half: int) -> tuple[Flag, Flag]:
 
 
 def mpb_allreduce(comm: "Communicator", env: CoreEnv, sendbuf: np.ndarray,
-                  op: ReduceOp) -> Generator:
-    """Allreduce working directly on the MPBs.  Returns the result vector."""
+                  op: ReduceOp, fault_epoch: int | None = None) -> Generator:
+    """Allreduce working directly on the MPBs.  Returns the result vector.
+
+    ``fault_epoch`` is the communicator's per-call epoch counter under
+    fault injection; a "faulty" epoch (a rank-consistent classification
+    by the injector) gets aggressive payload corruption on the double
+    buffers, which the producer-side write-verify loop below detects and
+    repairs (or converts into a typed
+    :class:`~repro.faults.errors.MPBFaultError`).
+    """
     p, me = env.size, env.rank
     if p == 1:
         return sendbuf.copy()
@@ -105,6 +113,45 @@ def mpb_allreduce(comm: "Communicator", env: CoreEnv, sendbuf: np.ndarray,
 
     round_overhead = lat.core_cycles(cfg.mpb_round_overhead_cycles)
 
+    faults = env.machine.faults
+    epoch_faulty = (faults is not None and fault_epoch is not None
+                    and faults.mpb_epoch_faulty(fault_epoch))
+    # Write-verify is armed only when the plan can actually corrupt
+    # payloads; a plan without corruption keeps the exact baseline timing.
+    verify_writes = faults is not None and (
+        faults.plan.payload_corrupt_prob > 0
+        or faults.plan.mpb_fault_epoch_prob > 0)
+
+    def verify_half(half: int, raw: np.ndarray) -> Generator:
+        """Producer-side write-verify: read the just-written half back,
+        compare against the intended bytes, rewrite until it sticks
+        (bounded by the retry budget).  Detects injected payload
+        corruption before the consumer ever sees it."""
+        region = my_halves[half]
+        faults.maybe_corrupt(region, raw.size, actor=f"core{me_core}",
+                             boost=epoch_faulty)
+        verify_cost = lat.mpb_stream_read(me_core, me_core, raw.size)
+        rewrite_cost = lat.mpb_stream_write(me_core, me_core, raw.size)
+        attempts = 0
+        while True:
+            yield from env.consume(verify_cost, "overhead")
+            if np.array_equal(region.read(raw.size), raw):
+                return
+            attempts += 1
+            faults.record("mpb_repair", f"core{me_core}",
+                          {"half": half, "attempt": attempts,
+                           "epoch": fault_epoch})
+            if attempts > faults.plan.max_retries:
+                faults.raise_fault(
+                    "mpb", f"MPB half stayed corrupt after {attempts} "
+                    f"rewrites", actor=f"core{me_core}", half=half,
+                    epoch=fault_epoch)
+            with span(env, "retry", attempts):
+                yield from env.consume(rewrite_cost, "copy")
+                region.write(raw)
+            faults.maybe_corrupt(region, raw.size, actor=f"core{me_core}",
+                                 boost=epoch_faulty)
+
     def produce(k: int, data: np.ndarray, write_cost: int) -> Generator:
         """Write ``data`` into my half ``k % 2`` once it is free."""
         half = k % 2
@@ -115,6 +162,8 @@ def mpb_allreduce(comm: "Communicator", env: CoreEnv, sendbuf: np.ndarray,
         with span(env, "copy", data.nbytes):
             yield from env.consume(write_cost, "copy")
             my_halves[half].write(as_bytes(data))
+        if verify_writes:
+            yield from verify_half(half, as_bytes(data))
         yield from sent.set_by(env.core)
 
     def consume_begin(k: int) -> Generator:

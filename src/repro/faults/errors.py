@@ -1,0 +1,38 @@
+"""Typed errors raised when a hardened protocol exhausts its retry budget.
+
+These are *detected-and-reported* outcomes: the protocol observed an
+injected fault, retried up to :attr:`FaultPlan.max_retries` times, and
+gave up.  The alternative — a silent hang or silent data corruption —
+is exactly what the hardening layers exist to rule out.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+
+class FaultError(Exception):
+    """Base class: a hardened protocol gave up after bounded retries.
+
+    ``kind`` names the fault site (``flag_write``, ``transfer``, ``mpb``)
+    and ``context`` carries the site-specific diagnostics (actor, peer,
+    flag name, sequence number, attempt count).
+    """
+
+    def __init__(self, kind: str, message: str, **context: Any):
+        self.kind = kind
+        self.context = context
+        detail = ", ".join(f"{k}={v!r}" for k, v in sorted(context.items()))
+        super().__init__(f"{message} [{detail}]" if detail else message)
+
+
+class FlagFaultError(FaultError):
+    """An MPB flag write kept getting lost past the retry budget."""
+
+
+class TransferFaultError(FaultError):
+    """A checksummed MPB transfer kept failing verification."""
+
+
+class MPBFaultError(FaultError):
+    """The MPB-direct allreduce could not keep a buffer half intact."""

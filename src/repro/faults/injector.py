@@ -1,0 +1,198 @@
+"""The live fault injector: the hook object behind ``machine.faults``.
+
+Design rules:
+
+* **Zero overhead off.**  Every hardware hook site guards with
+  ``machine.faults is not None``; an uninstrumented run executes exactly
+  the pre-existing code path, so latencies are bit-identical with the
+  subsystem absent (asserted by ``tests/faults/test_zero_overhead.py``).
+* **Determinism.**  All immediate draws come from a single
+  ``numpy.random.default_rng(plan.seed)`` stream; the simulator is
+  single-threaded and deterministic, so the draw order — and therefore
+  the whole run — is a pure function of ``(plan, program)``.
+* **Rank-consistent decisions.**  Decisions that *every* rank must make
+  identically (is epoch ``e`` faulty? has the fallback threshold been
+  crossed?) cannot come from the shared stream, whose draw order differs
+  per rank.  Those use stateless hashing: a fresh
+  ``default_rng((seed, salt, epoch))`` per query, so any rank asking
+  about the same epoch gets the same answer.
+* **Observability.**  Every injected fault and hardening reaction is
+  recorded as a :class:`~repro.faults.plan.FaultEvent` *and* emitted
+  through the machine's tracer as a ``fault.<kind>`` record — the
+  Chrome-trace exporter renders those as instant events, and retries/
+  fallbacks are additionally wrapped in ``retry``/``fallback`` spans by
+  the protocol layers.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, NoReturn, Optional
+
+import numpy as np
+
+from repro.faults.errors import (
+    FaultError,
+    FlagFaultError,
+    MPBFaultError,
+    TransferFaultError,
+)
+from repro.faults.plan import FaultEvent, FaultPlan
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.hw.machine import Machine
+    from repro.hw.mpb import MPBRegion
+
+#: Hash salt separating the epoch-classification stream from the seed.
+_EPOCH_SALT = 0xEC
+
+_ERROR_TYPES: dict[str, type[FaultError]] = {
+    "flag_write": FlagFaultError,
+    "transfer": TransferFaultError,
+    "mpb": MPBFaultError,
+}
+
+
+class FaultInjector:
+    """Seed-driven fault source attached to one :class:`Machine`."""
+
+    def __init__(self, plan: FaultPlan):
+        plan.validate()
+        self.plan = plan
+        self.rng = np.random.default_rng(plan.seed)
+        self.machine: Optional["Machine"] = None
+        self.counts: dict[str, int] = {}
+        self.events: list[FaultEvent] = []
+        self._epoch_cache: dict[int, bool] = {}
+
+    # -- lifecycle -------------------------------------------------------
+    def install(self, machine: "Machine") -> "FaultInjector":
+        """Attach to ``machine`` (also schedules the erratum toggle)."""
+        if machine.faults is not None:
+            raise RuntimeError("machine already has a fault injector")
+        self.machine = machine
+        machine.faults = self
+        toggle_at = self.plan.erratum_toggle_at_ps
+        if toggle_at is not None:
+            event = machine.sim.timeout(toggle_at)
+            event.add_callback(lambda _e: self._toggle_erratum())
+        return self
+
+    def _toggle_erratum(self) -> None:
+        cfg = self.machine.config
+        cfg.erratum_enabled = not cfg.erratum_enabled
+        self.record("erratum_toggle", "faults",
+                    {"enabled": cfg.erratum_enabled})
+
+    # -- bookkeeping -----------------------------------------------------
+    def record(self, kind: str, actor: str, detail: Any = None) -> None:
+        """Count + log one fault event and surface it in the trace."""
+        self.counts[kind] = self.counts.get(kind, 0) + 1
+        now = self.machine.sim.now if self.machine is not None else 0
+        self.events.append(FaultEvent(now, kind, actor, detail))
+        if self.machine is not None:
+            self.machine.sim.tracer.emit(now, actor or "faults",
+                                         f"fault.{kind}", detail)
+
+    def raise_fault(self, kind: str, message: str, **context: Any) -> NoReturn:
+        """Record the give-up and raise the matching typed error."""
+        self.record(f"{kind}_giveup", str(context.get("actor", "faults")),
+                    context)
+        raise _ERROR_TYPES.get(kind, FaultError)(kind, message, **context)
+
+    def summary(self) -> dict[str, int]:
+        return dict(sorted(self.counts.items()))
+
+    def _chance(self, prob: float) -> bool:
+        return prob > 0.0 and self.rng.random() < prob
+
+    # -- mesh delivery ---------------------------------------------------
+    def mesh_extra_ps(self, accessor: int, owner: int) -> int:
+        """Extra latency (jitter + congestion) for one MPB access."""
+        plan = self.plan
+        lat = self.machine.latency
+        extra = 0
+        if self._chance(plan.mesh_jitter_prob):
+            cycles = int(self.rng.integers(1, plan.mesh_jitter_max_cycles + 1))
+            extra += lat.mesh_cycles(cycles)
+            self.record("mesh_jitter", f"core{accessor}",
+                        {"owner": owner, "mesh_cycles": cycles})
+        if self._chance(plan.congestion_prob):
+            extra += lat.mesh_cycles(plan.congestion_cycles)
+            self.record("mesh_congestion", f"core{accessor}",
+                        {"owner": owner,
+                         "mesh_cycles": plan.congestion_cycles})
+        return extra
+
+    # -- flag faults -----------------------------------------------------
+    def flag_write_dropped(self, writer: int, owner: int, name: str) -> bool:
+        """Draw: is this flag write lost before reaching the MPB?"""
+        if self._chance(self.plan.flag_drop_prob):
+            self.record("flag_drop", f"core{writer}",
+                        {"owner": owner, "flag": name})
+            return True
+        return False
+
+    def flag_stale_extra_ps(self, reader: int, owner: int, name: str) -> int:
+        """Extra delay before ``reader`` observes a flag level change."""
+        if self._chance(self.plan.flag_stale_prob):
+            extra = self.machine.latency.core_cycles(
+                self.plan.flag_stale_cycles)
+            self.record("flag_stale", f"core{reader}",
+                        {"owner": owner, "flag": name})
+            return extra
+        return 0
+
+    # -- payload corruption ----------------------------------------------
+    def maybe_corrupt(self, region: "MPBRegion", nbytes: int, *,
+                      at: int = 0, actor: str = "",
+                      boost: bool = False) -> bool:
+        """Possibly flip one byte of a just-written MPB payload.
+
+        ``boost`` raises the rate to near-certainty (used for the MPB
+        allreduce's "faulty epoch" classification, so degradation is
+        actually exercised).
+        """
+        prob = 0.9 if boost else self.plan.payload_corrupt_prob
+        if nbytes <= 0 or not self._chance(prob):
+            return False
+        offset = region.offset + at + int(self.rng.integers(0, nbytes))
+        region.mpb.data[offset] ^= np.uint8(0xFF)
+        self.record("payload_corrupt", actor,
+                    {"mpb": region.owner, "offset": offset})
+        return True
+
+    # -- core stalls -----------------------------------------------------
+    def stall_ps(self, core_id: int) -> int:
+        """Extra stall time charged to one timed core burst."""
+        if self._chance(self.plan.core_stall_prob):
+            ps = self.machine.latency.core_cycles(self.plan.core_stall_cycles)
+            self.record("core_stall", f"core{core_id}",
+                        {"core_cycles": self.plan.core_stall_cycles})
+            return ps
+        return 0
+
+    # -- rank-consistent epoch decisions ---------------------------------
+    def mpb_epoch_faulty(self, epoch: int) -> bool:
+        """Is MPB-allreduce epoch ``epoch`` faulty?  Same answer on every
+        rank: derived from ``(seed, epoch)`` alone, never from the shared
+        draw stream."""
+        cached = self._epoch_cache.get(epoch)
+        if cached is not None:
+            return cached
+        prob = self.plan.mpb_fault_epoch_prob
+        faulty = (prob > 0.0 and np.random.default_rng(
+            (self.plan.seed, _EPOCH_SALT, epoch)).random() < prob)
+        self._epoch_cache[epoch] = faulty
+        return faulty
+
+    def mpb_degraded(self, epoch: int) -> bool:
+        """True once the faulty-epoch count among epochs ``0..epoch-1``
+        has reached the fallback threshold (rank-consistent)."""
+        threshold = self.plan.mpb_fallback_threshold
+        faulty = 0
+        for e in range(epoch):
+            if self.mpb_epoch_faulty(e):
+                faulty += 1
+                if faulty >= threshold:
+                    return True
+        return False

@@ -1,0 +1,138 @@
+"""The fault plan: what can go wrong, how often, and the hardening knobs.
+
+A :class:`FaultPlan` is frozen — a plan plus a seed fully determines a
+chaos run, so every campaign trial is reproducible from its ``(plan,
+seed)`` pair alone.  Probabilities are per *opportunity* (per flag write,
+per transfer, per ``consume`` burst), not per run.
+
+The fault model covers the failure classes the paper's hardware makes
+plausible:
+
+* **Mesh delivery** — per-access latency jitter and transient congestion
+  bursts (packets delayed, arriving later than the calibrated model).
+* **Flag writes** — a remote MPB flag write is lost (never becomes
+  visible) or goes *stale* (visible only after an extra delay), the
+  doubly-synchronizing protocol's nightmare scenario.
+* **Payload corruption** — a byte of a just-written MPB payload flips.
+* **Core stalls** — a core loses cycles to a transient stall (an
+  interrupt, a thermal event) in the middle of a protocol phase.
+* **Arbiter erratum toggle** — the paper's local-MPB-access bug
+  (Section IV-D) flips from "fixed" to "buggy" (or back) mid-run at a
+  scheduled virtual time, instead of being a static timing constant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Optional
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Immutable description of one fault-injection regime."""
+
+    #: Seed of the injector's deterministic random stream.
+    seed: int = 0
+
+    # -- mesh delivery ---------------------------------------------------
+    #: Probability that one MPB access pays extra mesh latency.
+    mesh_jitter_prob: float = 0.0
+    #: Upper bound of the jitter, in mesh cycles (drawn uniformly in
+    #: ``[1, max]``).
+    mesh_jitter_max_cycles: int = 32
+    #: Probability of hitting a transient congestion burst.
+    congestion_prob: float = 0.0
+    #: Fixed extra mesh cycles a congestion burst costs.
+    congestion_cycles: int = 512
+
+    # -- flag faults -----------------------------------------------------
+    #: Probability that a flag write is lost (never becomes visible).
+    flag_drop_prob: float = 0.0
+    #: Probability that a flag observation goes stale (extra delay before
+    #: the polling core sees the level change).
+    flag_stale_prob: float = 0.0
+    #: Extra staleness, in core cycles.
+    flag_stale_cycles: int = 2000
+
+    # -- payload corruption ----------------------------------------------
+    #: Probability that one byte of a just-written MPB payload flips.
+    payload_corrupt_prob: float = 0.0
+
+    # -- core stalls -----------------------------------------------------
+    #: Probability that a timed core burst hits a transient stall.
+    core_stall_prob: float = 0.0
+    #: Stall length, in core cycles.
+    core_stall_cycles: int = 5000
+
+    # -- arbiter erratum toggle ------------------------------------------
+    #: Virtual time (ps) at which ``config.erratum_enabled`` is flipped;
+    #: ``None`` leaves the configured value alone.
+    erratum_toggle_at_ps: Optional[int] = None
+
+    # -- hardening knobs -------------------------------------------------
+    #: Bounded retry budget shared by all hardened protocols (flag
+    #: write-verify, checksum retransmit, MPB half repair).
+    max_retries: int = 8
+    #: Enable CRC32-checksummed, sequence-numbered MPB transfers with
+    #: retransmit-on-mismatch in the RCCE-family stacks.
+    checksums: bool = True
+
+    # -- graceful degradation --------------------------------------------
+    #: Probability that one MPB-allreduce *epoch* (one collective call)
+    #: is classified faulty; faulty epochs get aggressive payload
+    #: corruption on the MPB double buffers.
+    mpb_fault_epoch_prob: float = 0.0
+    #: After this many faulty epochs, the communicator abandons the
+    #: MPB-direct algorithm and falls back to the private-memory ring.
+    mpb_fallback_threshold: int = 3
+
+    # Free-form escape hatch for experiments.
+    extras: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.validate()
+
+    def validate(self) -> None:
+        for name in ("mesh_jitter_prob", "congestion_prob", "flag_drop_prob",
+                     "flag_stale_prob", "payload_corrupt_prob",
+                     "core_stall_prob", "mpb_fault_epoch_prob"):
+            p = getattr(self, name)
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {p}")
+        for name in ("mesh_jitter_max_cycles", "congestion_cycles",
+                     "flag_stale_cycles", "core_stall_cycles"):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be positive, "
+                                 f"got {getattr(self, name)}")
+        if self.max_retries < 1:
+            raise ValueError(f"max_retries must be >= 1, "
+                             f"got {self.max_retries}")
+        if self.mpb_fallback_threshold < 1:
+            raise ValueError(f"mpb_fallback_threshold must be >= 1, "
+                             f"got {self.mpb_fallback_threshold}")
+        if (self.erratum_toggle_at_ps is not None
+                and self.erratum_toggle_at_ps < 0):
+            raise ValueError("erratum_toggle_at_ps must be >= 0")
+
+    def with_seed(self, seed: int) -> "FaultPlan":
+        """The same regime under a different random seed."""
+        return replace(self, seed=seed)
+
+    @property
+    def any_faults(self) -> bool:
+        """True when at least one fault class has a nonzero rate."""
+        return (self.mesh_jitter_prob > 0 or self.congestion_prob > 0
+                or self.flag_drop_prob > 0 or self.flag_stale_prob > 0
+                or self.payload_corrupt_prob > 0 or self.core_stall_prob > 0
+                or self.mpb_fault_epoch_prob > 0
+                or self.erratum_toggle_at_ps is not None)
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One injected fault (or hardening reaction), as recorded."""
+
+    time_ps: int
+    kind: str
+    actor: str
+    detail: Any = None

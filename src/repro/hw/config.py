@@ -163,17 +163,53 @@ class SCCConfig:
         self.validate()
 
     def validate(self) -> None:
-        if self.mesh_cols <= 0 or self.mesh_rows <= 0 or self.cores_per_tile <= 0:
-            raise ValueError("topology dimensions must be positive")
+        for name in ("mesh_cols", "mesh_rows", "cores_per_tile"):
+            value = getattr(self, name)
+            if value <= 0:
+                raise ValueError(
+                    f"{name} must be positive, got {value} "
+                    f"(topology dimensions must be positive)")
         if self.l1_line_bytes <= 0 or self.l1_line_bytes % 8:
-            raise ValueError("l1_line_bytes must be a positive multiple of 8")
+            raise ValueError(
+                f"l1_line_bytes must be a positive multiple of 8 "
+                f"(whole doubles per line), got {self.l1_line_bytes}")
+        if self.mpb_flag_bytes <= 0:
+            raise ValueError(
+                f"mpb_flag_bytes must be positive, got "
+                f"{self.mpb_flag_bytes}")
+        if self.mpb_flag_bytes % self.l1_line_bytes:
+            raise ValueError(
+                f"mpb_flag_bytes ({self.mpb_flag_bytes}) must be a "
+                f"multiple of the cache-line/flag granularity "
+                f"({self.l1_line_bytes} B)")
         if self.mpb_bytes_per_core <= self.mpb_flag_bytes:
-            raise ValueError("MPB must be larger than its flag region")
+            raise ValueError(
+                f"MPB must be larger than its flag region: "
+                f"mpb_bytes_per_core={self.mpb_bytes_per_core} B vs "
+                f"mpb_flag_bytes={self.mpb_flag_bytes} B")
         if self.mpb_bytes_per_core % self.l1_line_bytes:
-            raise ValueError("MPB size must be line-aligned")
+            raise ValueError(
+                f"MPB size must be line-aligned: mpb_bytes_per_core="
+                f"{self.mpb_bytes_per_core} is not a multiple of "
+                f"l1_line_bytes={self.l1_line_bytes}")
         for name in ("core_freq_hz", "mesh_freq_hz", "dram_freq_hz"):
             if getattr(self, name) <= 0:
-                raise ValueError(f"{name} must be positive")
+                raise ValueError(
+                    f"{name} must be positive, got {getattr(self, name)}")
+
+    def check_rank_count(self, cores: int) -> None:
+        """Reject SPMD launches that do not fit the mesh.
+
+        Raises :class:`ValueError` for non-positive counts and for counts
+        exceeding the chip's ``num_cores``.
+        """
+        if cores <= 0:
+            raise ValueError(f"core count must be positive, got {cores}")
+        if cores > self.num_cores:
+            raise ValueError(
+                f"requested {cores} cores; the "
+                f"{self.mesh_cols}x{self.mesh_rows}x{self.cores_per_tile} "
+                f"mesh has only {self.num_cores}")
 
     # -- derived quantities ---------------------------------------------
     @property

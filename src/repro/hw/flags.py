@@ -41,25 +41,64 @@ class Flag:
     # -- timed operations (generators; use via ``yield from``) ------------
     def set_by(self, core: "Core") -> Generator:
         """``core`` writes 1 to the flag (MPB write latency applies)."""
-        cost = self.machine.latency.flag_write(core.core_id, self.owner)
-        yield from core.consume(cost, "overhead")
-        self.gate.set()
+        yield from self._write_by(core, True)
 
     def clear_by(self, core: "Core") -> Generator:
         """``core`` writes 0 to the flag."""
-        cost = self.machine.latency.flag_write(core.core_id, self.owner)
-        yield from core.consume(cost, "overhead")
-        self.gate.clear()
+        yield from self._write_by(core, False)
+
+    def _write_by(self, core: "Core", level: bool) -> Generator:
+        machine = self.machine
+        cost = machine.latency.flag_write(core.core_id, self.owner)
+        faults = machine.faults
+        if faults is None:
+            yield from core.consume(cost, "overhead")
+            self._apply(level)
+            return
+        # Fault-aware path: mesh jitter on the write, and a write-verify
+        # loop against lost flag writes — the writer reads the flag back
+        # (one MPB access) and rewrites until the level sticks, bounded
+        # by the plan's retry budget.
+        jitter = faults.mesh_extra_ps(core.core_id, self.owner)
+        yield from core.consume(cost + jitter, "overhead")
+        attempts = 0
+        while faults.flag_write_dropped(core.core_id, self.owner, self.name):
+            attempts += 1
+            if attempts > faults.plan.max_retries:
+                faults.raise_fault(
+                    "flag_write",
+                    f"flag write lost {attempts} times",
+                    actor=f"core{core.core_id}", owner=self.owner,
+                    flag=self.name, level=level)
+            verify = machine.latency.mpb_access(core.core_id, self.owner)
+            yield from core.consume(verify + cost, "overhead")
+        self._apply(level)
+
+    def _apply(self, level: bool) -> None:
+        if level:
+            self.gate.set()
+        else:
+            self.gate.clear()
 
     def wait_set(self, core: "Core") -> Generator:
         """``core`` polls until the flag is 1 (``rcce_wait_until``)."""
-        notify = self.machine.latency.flag_notify(core.core_id, self.owner)
-        yield from core.wait(self.gate.wait_true(notify), "wait_flag")
+        yield from self._wait_level(core, True)
 
     def wait_clear(self, core: "Core") -> Generator:
         """``core`` polls until the flag is 0."""
-        notify = self.machine.latency.flag_notify(core.core_id, self.owner)
-        yield from core.wait(self.gate.wait_false(notify), "wait_flag")
+        yield from self._wait_level(core, False)
+
+    def _wait_level(self, core: "Core", level: bool) -> Generator:
+        machine = self.machine
+        notify = machine.latency.flag_notify(core.core_id, self.owner)
+        faults = machine.faults
+        if faults is not None:
+            notify += faults.flag_stale_extra_ps(core.core_id, self.owner,
+                                                 self.name)
+        event = self.gate.wait_level(level, notify)
+        event.label = ("wait_set" if level else "wait_clear",
+                       self.gate.name)
+        yield from core.wait(event, "wait_flag")
 
     # -- untimed operations (simulation bookkeeping) -----------------------
     def force(self, value: bool) -> None:

@@ -15,7 +15,7 @@ through :class:`CoreEnv` objects handed to an SPMD program:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Generator, Optional, Sequence
+from typing import TYPE_CHECKING, Any, Callable, Generator, Optional, Sequence
 
 from repro.hw.config import SCCConfig
 from repro.hw.flags import Flag
@@ -27,6 +27,9 @@ from repro.sim.engine import Simulator
 from repro.sim.events import Event
 from repro.sim.resources import FifoLock
 from repro.sim.trace import TimeAccount, Tracer
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.faults.injector import FaultInjector
 
 
 class Core:
@@ -47,9 +50,15 @@ class Core:
 
     def consume(self, duration_ps: int, state: str = "compute") -> Generator:
         """Occupy the core for ``duration_ps``, accounted under ``state``."""
+        faults = self.machine.faults
+        stall = (faults.stall_ps(self.core_id)
+                 if faults is not None and duration_ps > 0 else 0)
         if not self.cpu.try_acquire():
             yield self.cpu.acquire()
         try:
+            if stall > 0:
+                yield self.machine.sim.timeout(stall)
+                self.account.add("stall", stall)
             if duration_ps > 0:
                 yield self.machine.sim.timeout(duration_ps)
             self.account.add(state, duration_ps)
@@ -149,6 +158,10 @@ class Machine:
             [FifoLock(self.sim, name=f"mpbport{i}")
              for i in range(self.config.num_cores)]
             if self.config.model_mpb_contention else None)
+        #: Fault injector, or None.  Every fault hook site guards on this
+        #: being non-None, so fault-free runs pay one attribute check and
+        #: execute the exact pre-existing code path (zero overhead).
+        self.faults: Optional["FaultInjector"] = None
 
     @property
     def num_cores(self) -> int:
@@ -171,12 +184,17 @@ class Machine:
     # ------------------------------------------------------------------ #
     def run_spmd(self, program: Callable[..., Generator], *args: Any,
                  ranks: Optional[Sequence[int]] = None,
+                 watchdog_ps: Optional[int] = None,
                  **kwargs: Any) -> SPMDResult:
         """Run ``program(env, *args, **kwargs)`` on every core.
 
         ``ranks`` restricts the launch to a subset of cores (they become
-        ranks 0..len-1 of the job).  Returns per-rank return values, the
-        simulated makespan, and per-rank time accounts.
+        ranks 0..len-1 of the job).  ``watchdog_ps`` bounds the virtual
+        time of the launch: exceeding it raises a
+        :class:`~repro.sim.errors.WatchdogTimeout` with per-process wait
+        diagnostics instead of letting a faulty run stall silently.
+        Returns per-rank return values, the simulated makespan, and
+        per-rank time accounts.
         """
         ranks = list(ranks) if ranks is not None else list(range(self.num_cores))
         size = len(ranks)
@@ -189,7 +207,7 @@ class Machine:
                              name=f"rank{env.rank}")
             for env in envs
         ]
-        self.sim.run_until_processes(procs)
+        self.sim.run_until_processes(procs, watchdog_ps=watchdog_ps)
         return SPMDResult(
             values=[p.value for p in procs],
             elapsed_ps=self.sim.now - start,

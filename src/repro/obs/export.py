@@ -34,7 +34,8 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.sim.trace import TraceRecord
 
 #: TimeAccount states counted as waiting (the complement is busy).
-WAIT_STATES = ("wait_flag", "wait_request", "wait_port", "idle")
+#: ``stall`` only appears under fault injection (transient core stalls).
+WAIT_STATES = ("wait_flag", "wait_request", "wait_port", "idle", "stall")
 
 
 def _actor_tid(actor: str) -> int:
@@ -178,7 +179,7 @@ def run_metrics(machine: "Machine", result: "SPMDResult",
     cores = account_metrics(result.accounts)
     total = sum(r["total_ps"] for r in cores)
     wait = sum(r["wait_ps"] for r in cores)
-    return {
+    metrics = {
         "meta": dict(meta or {}),
         "elapsed_us": result.elapsed_us,
         "wait_fraction": wait / total if total else 0.0,
@@ -186,6 +187,14 @@ def run_metrics(machine: "Machine", result: "SPMDResult",
         "mesh_links": link_traffic(machine),
         "mpb": mpb_counters(machine),
     }
+    faults = getattr(machine, "faults", None)
+    if faults is not None:
+        metrics["faults"] = {
+            "seed": faults.plan.seed,
+            "counts": faults.summary(),
+            "events": len(faults.events),
+        }
+    return metrics
 
 
 def write_metrics_json(path_or_file: Union[str, TextIO],

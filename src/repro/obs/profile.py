@@ -159,9 +159,7 @@ def profile_collective(kind: str, stack: str, size: int, *,
     config = config if config is not None else SCCConfig()
     tracer = Tracer(enabled=trace, capacity=trace_capacity)
     machine = Machine(config, tracer=tracer)
-    if cores > machine.num_cores:
-        raise ValueError(f"requested {cores} cores; machine has "
-                         f"{machine.num_cores}")
+    config.check_rank_count(cores)
     from repro.bench.stats import comm_stats
     comm_stats(machine)  # enable the traffic counters
     comm = make_communicator(machine, stack)

@@ -35,7 +35,8 @@ COLLECTIVE_SPANS = ("allreduce", "reduce", "reduce_scatter", "allgather",
                     "alltoall", "bcast", "barrier", "scan", "exscan",
                     "scatter", "gather", "scatterv", "gatherv", "split")
 ROUND_SPAN = "round"
-PHASE_SPANS = ("sync", "copy", "transfer", "reduce", "send", "recv")
+PHASE_SPANS = ("sync", "copy", "transfer", "reduce", "send", "recv",
+               "retry", "fallback")
 
 
 class _NullSpan:

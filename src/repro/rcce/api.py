@@ -25,6 +25,7 @@ and the ``ready`` flag lives in src's MPB.
 
 from __future__ import annotations
 
+import zlib
 from typing import Generator, Optional
 
 import numpy as np
@@ -32,6 +33,7 @@ import numpy as np
 from repro.hw.flags import Flag
 from repro.hw.machine import CoreEnv, Machine
 from repro.hw.mpb import MPBRegion, as_bytes
+from repro.obs.spans import span
 from repro.rcce.transfer import get_bytes, put_bytes
 
 
@@ -53,6 +55,27 @@ def sent_flag(machine: Machine, src: int, dst: int) -> Flag:
 def ready_flag(machine: Machine, src: int, dst: int) -> Flag:
     """'Data picked up' flag for the src→dst channel (lives at src)."""
     return machine.flag(src, f"rcce.ready.{dst}")
+
+
+def nack_flag(machine: Machine, src: int, dst: int) -> Flag:
+    """'Chunk rejected, retransmit' flag for the src→dst channel.
+
+    Only used by the fault-hardened protocol; lives at the sender (src)
+    so the sender can poll it cheaply right after its ready-wait.
+    """
+    return machine.flag(src, f"rcce.nack.{dst}")
+
+
+def _xfer_state(machine: Machine, src_core: int, dst_core: int) -> dict:
+    """Per-channel sequence/checksum bookkeeping of the hardened protocol.
+
+    ``seq_out``/``seq_in`` number chunks on the sender/receiver side;
+    ``frame`` is the in-flight chunk's ``(seq, crc32)`` — the channel is
+    doubly synchronizing, so at most one chunk is in flight at a time.
+    """
+    channels = machine.services.setdefault("faults.xfer", {})
+    return channels.setdefault((src_core, dst_core),
+                               {"seq_out": 0, "seq_in": 0, "frame": None})
 
 
 def record_message(machine: Machine, src: int, dst: int,
@@ -135,6 +158,10 @@ class RCCE:
 
     # -- protocol bodies (shared with the non-blocking layers) -------------
     def _send_body(self, env: CoreEnv, raw: np.ndarray, dst: int) -> Generator:
+        faults = self.machine.faults
+        if faults is not None and faults.plan.checksums:
+            yield from self._send_body_hardened(env, raw, dst)
+            return
         machine = self.machine
         me_core = env.core_id
         dst_core = env.core_of_rank(dst)
@@ -152,6 +179,10 @@ class RCCE:
             yield from ready.clear_by(env.core)
 
     def _recv_body(self, env: CoreEnv, raw_out: np.ndarray, src: int) -> Generator:
+        faults = self.machine.faults
+        if faults is not None and faults.plan.checksums:
+            yield from self._recv_body_hardened(env, raw_out, src)
+            return
         machine = self.machine
         me_core = env.core_id
         src_core = env.core_of_rank(src)
@@ -167,6 +198,129 @@ class RCCE:
             data = yield from get_bytes(env, buf, nbytes)
             raw_out[start:start + nbytes] = data
             yield from ready.set_by(env.core)
+
+    # -- hardened protocol bodies (sequence numbers + CRC32 + NACK) --------
+    #
+    # Active whenever a fault injector with ``checksums`` enabled is
+    # installed.  Each chunk carries a per-channel sequence number and the
+    # CRC32 of the *intended* payload; the receiver verifies both after
+    # reading the MPB and, on mismatch (corrupted payload, stale/duplicate
+    # frame), raises the channel's NACK flag before releasing the sender,
+    # which retransmits the same sequence number.  Both sides bound their
+    # loops with the plan's retry budget and raise a typed
+    # :class:`~repro.faults.errors.TransferFaultError` on exhaustion —
+    # never a silent hang, never silently corrupted data.
+    #
+    # When no fault actually fires, this path's *timing* is identical to
+    # the plain protocol: the checksum is modeled as computed on the fly
+    # during the copy (folded into the per-line costs), and the NACK flag
+    # is only ever touched on a retransmission.
+    def _send_body_hardened(self, env: CoreEnv, raw: np.ndarray,
+                            dst: int) -> Generator:
+        machine = self.machine
+        faults = machine.faults
+        me_core = env.core_id
+        dst_core = env.core_of_rank(dst)
+        record_message(machine, me_core, dst_core, int(raw.size))
+        buf = comm_buffer(machine, me_core)
+        sent = sent_flag(machine, me_core, dst_core)
+        ready = ready_flag(machine, me_core, dst_core)
+        nack = nack_flag(machine, me_core, dst_core)
+        state = _xfer_state(machine, me_core, dst_core)
+        chunk = self.chunk_bytes()
+        for start in range(0, raw.size, chunk) or [0]:
+            piece = raw[start:start + chunk]
+            seq = state["seq_out"]
+            state["seq_out"] = seq + 1
+            crc = zlib.crc32(piece.tobytes())
+            attempts = 0
+            while True:
+                if attempts == 0:
+                    yield from self._send_chunk_once(
+                        env, buf, piece, seq, crc, sent, ready, state,
+                        dst_core=dst_core, announce=True)
+                else:
+                    with span(env, "retry", attempts):
+                        yield from self._send_chunk_once(
+                            env, buf, piece, seq, crc, sent, ready, state,
+                            dst_core=dst_core, announce=False)
+                if not nack.value:
+                    break
+                yield from nack.clear_by(env.core)
+                attempts += 1
+                faults.record("retransmit", f"core{me_core}",
+                              {"dst": dst_core, "seq": seq,
+                               "attempt": attempts})
+                if attempts > faults.plan.max_retries:
+                    faults.raise_fault(
+                        "transfer",
+                        f"retransmit budget exhausted after {attempts} "
+                        f"attempts",
+                        actor=f"core{me_core}", peer=dst_core, seq=seq)
+
+    def _send_chunk_once(self, env: CoreEnv, buf: MPBRegion,
+                         piece: np.ndarray, seq: int, crc: int,
+                         sent: Flag, ready: Flag, state: dict, *,
+                         dst_core: int, announce: bool) -> Generator:
+        yield from put_bytes(env, buf, piece)
+        state["frame"] = (seq, crc)
+        if announce:
+            announce_send(self.machine, env.core_id, dst_core,
+                          int(piece.size))
+        yield from sent.set_by(env.core)
+        yield from ready.wait_set(env.core)
+        yield from ready.clear_by(env.core)
+
+    def _recv_body_hardened(self, env: CoreEnv, raw_out: np.ndarray,
+                            src: int) -> Generator:
+        machine = self.machine
+        faults = machine.faults
+        me_core = env.core_id
+        src_core = env.core_of_rank(src)
+        buf = comm_buffer(machine, src_core)
+        sent = sent_flag(machine, src_core, me_core)
+        ready = ready_flag(machine, src_core, me_core)
+        nack = nack_flag(machine, src_core, me_core)
+        state = _xfer_state(machine, src_core, me_core)
+        chunk = self.chunk_bytes()
+        for start in range(0, raw_out.size, chunk) or [0]:
+            nbytes = min(chunk, raw_out.size - start)
+            expected = state["seq_in"]
+            attempts = 0
+            while True:
+                if attempts == 0:
+                    data = yield from self._recv_chunk_once(
+                        env, buf, nbytes, sent, src_core)
+                else:
+                    with span(env, "retry", attempts):
+                        data = yield from self._recv_chunk_once(
+                            env, buf, nbytes, sent, src_core)
+                frame = state["frame"]
+                if (frame is not None and frame[0] == expected
+                        and zlib.crc32(data.tobytes()) == frame[1]):
+                    state["seq_in"] = expected + 1
+                    raw_out[start:start + nbytes] = data
+                    yield from ready.set_by(env.core)
+                    break
+                attempts += 1
+                faults.record("chunk_reject", f"core{me_core}",
+                              {"src": src_core, "seq": expected,
+                               "attempt": attempts})
+                if attempts > faults.plan.max_retries:
+                    faults.raise_fault(
+                        "transfer",
+                        f"chunk verification failed {attempts} times",
+                        actor=f"core{me_core}", peer=src_core, seq=expected)
+                yield from nack.set_by(env.core)
+                yield from ready.set_by(env.core)
+
+    def _recv_chunk_once(self, env: CoreEnv, buf: MPBRegion, nbytes: int,
+                         sent: Flag, src_core: int) -> Generator:
+        yield from sent.wait_set(env.core)
+        take_announcement(self.machine, env.core_id, src_core)
+        yield from sent.clear_by(env.core)
+        data = yield from get_bytes(env, buf, nbytes)
+        return data
 
     # ------------------------------------------------------------------ #
     def barrier(self, env: CoreEnv) -> Generator:

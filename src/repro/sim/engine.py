@@ -10,7 +10,12 @@ from __future__ import annotations
 import heapq
 from typing import Any, Generator, Iterable, Optional
 
-from repro.sim.errors import DeadlockError, SimulationError
+from repro.sim.errors import (
+    DeadlockError,
+    SimulationError,
+    WaitInfo,
+    WatchdogTimeout,
+)
 from repro.sim.events import AllOf, AnyOf, Event, Gate, Timeout
 from repro.sim.process import Process
 from repro.sim.trace import Tracer
@@ -106,17 +111,51 @@ class Simulator:
             waiting = [p.name or repr(p) for p in self._processes.values()
                        if not p.triggered]
             if waiting:
-                raise DeadlockError(waiting)
+                raise DeadlockError(waiting, self.blocked_info())
         return self._now
 
-    def run_until_processes(self, processes: Iterable[Process]) -> int:
-        """Run until every process in ``processes`` has completed."""
+    def blocked_info(self) -> list[WaitInfo]:
+        """One :class:`WaitInfo` snapshot per live (blocked) process."""
+        infos = []
+        for proc in self._processes.values():
+            if proc.triggered:
+                continue
+            event = proc.waiting_on
+            if event is None:
+                primitive, target = "<unknown>", "<unknown>"
+            elif event.label is not None:
+                primitive, target = event.label
+            elif isinstance(event, Process):
+                primitive, target = "wait_process", event.name
+            else:
+                primitive, target = "wait_event", type(event).__name__
+            infos.append(WaitInfo(proc.name or repr(proc), primitive,
+                                  target, self._now - proc.wait_since))
+        return infos
+
+    def run_until_processes(self, processes: Iterable[Process], *,
+                            watchdog_ps: Optional[int] = None) -> int:
+        """Run until every process in ``processes`` has completed.
+
+        ``watchdog_ps`` bounds the *virtual* time the run may take (measured
+        from the current instant): if the next heap event lies beyond the
+        deadline while target processes are unfinished, a
+        :class:`WatchdogTimeout` is raised carrying per-process wait
+        diagnostics.  This converts silent livelocks/hangs into a rich,
+        typed error, complementing the drain-only :class:`DeadlockError`.
+        """
         target = AllOf(self, list(processes))
+        deadline = self._now + watchdog_ps if watchdog_ps is not None else None
+        start = self._now
         while not target.processed:
             if not self._heap:
                 waiting = [p.name or repr(p) for p in self._processes.values()
                            if not p.triggered]
-                raise DeadlockError(waiting or ["<unknown>"])
+                raise DeadlockError(waiting or ["<unknown>"],
+                                    self.blocked_info())
+            if deadline is not None and self._heap[0][0] > deadline:
+                raise WatchdogTimeout(watchdog_ps, self._now - start,
+                                      self.blocked_info())
             self.step()
         if target.failed:
             raise target.value

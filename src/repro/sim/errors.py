@@ -2,6 +2,37 @@
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class WaitInfo:
+    """Diagnostic snapshot of one blocked process.
+
+    ``primitive`` is the blocking operation (``wait_set``, ``wait_clear``,
+    ``acquire``, ``wait_process``, ...), ``target`` the object it waits on
+    (a flag name such as ``flag[3].rcce.sent.0``, a lock name, a peer
+    process name), and ``waited_ps`` how long the process has been parked
+    there in simulated picoseconds.
+    """
+
+    process: str
+    primitive: str
+    target: str
+    waited_ps: int
+
+    def describe(self) -> str:
+        return (f"{self.process}: blocked in {self.primitive}({self.target}) "
+                f"for {self.waited_ps} ps")
+
+
+def _blocked_lines(blocked: list[WaitInfo], limit: int = 8) -> str:
+    lines = [f"  {info.describe()}" for info in blocked[:limit]]
+    if len(blocked) > limit:
+        lines.append(f"  ... and {len(blocked) - limit} more")
+    return "\n".join(lines)
+
 
 class SimulationError(Exception):
     """Base class for all kernel-level errors."""
@@ -16,17 +47,51 @@ class DeadlockError(SimulationError):
     odd-even pattern.  The simulator detects that situation exactly — an
     un-ordered blocking ring raises :class:`DeadlockError`, and the test
     suite asserts it does.
+
+    ``waiting`` holds the blocked process names; ``blocked`` (when the
+    engine could collect it) holds one :class:`WaitInfo` per process with
+    the blocking primitive and the flag/event it waits on.
     """
 
-    def __init__(self, waiting: list[str]):
+    def __init__(self, waiting: list[str],
+                 blocked: Optional[list[WaitInfo]] = None):
         self.waiting = list(waiting)
+        self.blocked = list(blocked) if blocked else []
         preview = ", ".join(self.waiting[:8])
         if len(self.waiting) > 8:
             preview += f", ... ({len(self.waiting)} total)"
-        super().__init__(
+        message = (
             f"simulation deadlocked with {len(self.waiting)} process(es) "
             f"still waiting: {preview}"
         )
+        if self.blocked:
+            message += "\n" + _blocked_lines(self.blocked)
+        super().__init__(message)
+
+
+class WatchdogTimeout(SimulationError, TimeoutError):
+    """The watchdog deadline passed with processes still unfinished.
+
+    Unlike :class:`DeadlockError` (heap drained — nothing can ever happen
+    again), a watchdog timeout fires on a run that is still *live* but has
+    exceeded its virtual-time budget: livelocks, unbounded retry storms,
+    or fault-stalled handshakes.  Carries the same per-process
+    :class:`WaitInfo` diagnostics plus the elapsed virtual time.
+    """
+
+    def __init__(self, watchdog_ps: int, now_ps: int,
+                 blocked: Optional[list[WaitInfo]] = None):
+        self.watchdog_ps = watchdog_ps
+        self.now_ps = now_ps
+        self.blocked = list(blocked) if blocked else []
+        message = (
+            f"watchdog expired after {now_ps} ps of virtual time "
+            f"(budget {watchdog_ps} ps) with {len(self.blocked)} "
+            f"process(es) unfinished"
+        )
+        if self.blocked:
+            message += "\n" + _blocked_lines(self.blocked)
+        super().__init__(message)
 
 
 class StaleEventError(SimulationError):

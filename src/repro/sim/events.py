@@ -42,7 +42,8 @@ class Event:
     resumed).
     """
 
-    __slots__ = ("sim", "callbacks", "_value", "_failed", "triggered", "processed")
+    __slots__ = ("sim", "callbacks", "_value", "_failed", "triggered",
+                 "processed", "label")
 
     def __init__(self, sim: "Simulator"):
         self.sim = sim
@@ -51,6 +52,9 @@ class Event:
         self._failed = False
         self.triggered = False
         self.processed = False
+        #: Optional ``(primitive, target)`` pair naming the operation this
+        #: event represents; surfaces in deadlock/watchdog diagnostics.
+        self.label: Optional[tuple[str, str]] = None
 
     # -- inspection ----------------------------------------------------
     @property
@@ -157,6 +161,8 @@ class _Condition(Event):
     def __init__(self, sim: "Simulator", events: Iterable[Event]):
         super().__init__(sim)
         self.events = list(events)
+        self.label = (type(self).__name__.lower(),
+                      f"{len(self.events)} events")
         for event in self.events:
             if event.sim is not sim:
                 raise ValueError("cannot mix events from different simulators")
@@ -250,6 +256,7 @@ class Gate:
         waiter resuming (models the final successful poll's read latency).
         """
         event = Event(self.sim)
+        event.label = ("wait_true", self.name or "<gate>")
         if self._value:
             event.succeed(True, delay=notify_delay)
         else:
@@ -258,6 +265,7 @@ class Gate:
 
     def wait_false(self, notify_delay: int = 0) -> Event:
         event = Event(self.sim)
+        event.label = ("wait_false", self.name or "<gate>")
         if not self._value:
             event.succeed(False, delay=notify_delay)
         else:

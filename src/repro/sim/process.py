@@ -27,7 +27,8 @@ class Process(Event):
     instant as the interrupt.
     """
 
-    __slots__ = ("generator", "name", "_epoch", "_waiting")
+    __slots__ = ("generator", "name", "_epoch", "_waiting",
+                 "waiting_on", "wait_since")
 
     def __init__(self, sim: "Simulator", generator: Generator, name: str = ""):
         if not hasattr(generator, "send") or not hasattr(generator, "throw"):
@@ -40,6 +41,10 @@ class Process(Event):
         self.name = name or getattr(generator, "__name__", "") or "process"
         self._epoch = 0
         self._waiting = False
+        #: The event this process is currently parked on (diagnostics).
+        self.waiting_on: Event | None = None
+        #: Simulated time at which the current wait began.
+        self.wait_since: int = sim.now
         # Bootstrap: resume once at the current instant.
         self._wait_on(Event(sim).succeed())
 
@@ -62,6 +67,8 @@ class Process(Event):
 
     def _wait_on(self, event: Event) -> None:
         self._waiting = True
+        self.waiting_on = event
+        self.wait_since = self.sim.now
         epoch = self._epoch
         event.add_callback(lambda ev: self._resume(ev, epoch))
 

@@ -42,6 +42,7 @@ class FifoLock:
     def acquire(self) -> Event:
         """Event that fires when the caller holds the lock."""
         event = Event(self.sim)
+        event.label = ("acquire", self.name or "<lock>")
         if not self._locked and not self._queue:
             self._locked = True
             event.succeed()
@@ -113,6 +114,7 @@ class Semaphore:
 
     def acquire(self) -> Event:
         event = Event(self.sim)
+        event.label = ("acquire", self.name or "<semaphore>")
         if self._count > 0 and not self._queue:
             self._count -= 1
             event.succeed()

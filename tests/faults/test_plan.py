@@ -1,0 +1,54 @@
+"""FaultPlan validation and derived properties."""
+
+import pytest
+
+from repro.faults import FaultPlan
+
+
+class TestValidation:
+    def test_default_plan_valid_and_inert(self):
+        plan = FaultPlan()
+        assert not plan.any_faults
+
+    def test_probability_out_of_range(self):
+        with pytest.raises(ValueError, match="flag_drop_prob"):
+            FaultPlan(flag_drop_prob=1.5)
+        with pytest.raises(ValueError, match="mesh_jitter_prob"):
+            FaultPlan(mesh_jitter_prob=-0.1)
+
+    def test_nonpositive_magnitudes_rejected(self):
+        with pytest.raises(ValueError, match="congestion_cycles"):
+            FaultPlan(congestion_cycles=0)
+        with pytest.raises(ValueError, match="core_stall_cycles"):
+            FaultPlan(core_stall_cycles=-5)
+
+    def test_retry_budget_must_allow_one_attempt(self):
+        with pytest.raises(ValueError, match="max_retries"):
+            FaultPlan(max_retries=0)
+
+    def test_fallback_threshold_positive(self):
+        with pytest.raises(ValueError, match="mpb_fallback_threshold"):
+            FaultPlan(mpb_fallback_threshold=0)
+
+    def test_negative_toggle_time_rejected(self):
+        with pytest.raises(ValueError, match="erratum_toggle_at_ps"):
+            FaultPlan(erratum_toggle_at_ps=-1)
+
+
+class TestDerived:
+    def test_with_seed_keeps_rates(self):
+        plan = FaultPlan(flag_drop_prob=0.25, seed=1)
+        reseeded = plan.with_seed(99)
+        assert reseeded.seed == 99
+        assert reseeded.flag_drop_prob == 0.25
+        assert plan.seed == 1  # original untouched (frozen)
+
+    def test_any_faults_reflects_each_class(self):
+        assert FaultPlan(mesh_jitter_prob=0.1).any_faults
+        assert FaultPlan(flag_stale_prob=0.1).any_faults
+        assert FaultPlan(payload_corrupt_prob=0.1).any_faults
+        assert FaultPlan(core_stall_prob=0.1).any_faults
+        assert FaultPlan(mpb_fault_epoch_prob=0.1).any_faults
+        assert FaultPlan(erratum_toggle_at_ps=1000).any_faults
+        # Hardening knobs alone inject nothing.
+        assert not FaultPlan(max_retries=3, checksums=False).any_faults

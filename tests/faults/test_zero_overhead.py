@@ -1,0 +1,85 @@
+"""Fault injection disabled must cost exactly zero.
+
+The acceptance bar for the whole subsystem: with no injector installed —
+or with an installed injector whose rates are all zero — every collective
+latency is *bit-identical* to the pre-subsystem simulator.  Every hook
+site therefore guards on ``machine.faults is not None`` and the hardened
+protocol paths only activate when a fault can actually fire.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench.runner import program_for
+from repro.core.ops import SUM
+from repro.core.registry import STACKS, make_communicator
+from repro.faults import FaultInjector, FaultPlan
+from repro.hw.config import SCCConfig
+from repro.hw.machine import Machine
+
+# Pre-PR golden latencies (the calibration lock's values): the zero-rate
+# injector must reproduce them exactly, not just approximately.
+GOLDEN_ALLREDUCE_552 = {
+    "blocking": 2927.6,
+    "ircce": 2315.8,
+    "lightweight": 1405.9,
+    "lightweight_balanced": 1125.4,
+    "mpb": 1024.8,
+    "rckmpi": 5831.2,
+}
+
+
+def _elapsed_ps(kind: str, stack: str, size: int, cores: int,
+                plan: FaultPlan | None) -> int:
+    """Rank-0 latency in integer picoseconds, optionally with an
+    installed (but possibly inert) injector."""
+    machine = Machine(SCCConfig())
+    if plan is not None:
+        FaultInjector(plan).install(machine)
+    comm = make_communicator(machine, stack)
+    rng = np.random.default_rng(20120901)
+    inputs = [rng.normal(size=size) for _ in range(cores)]
+    program = program_for(kind, comm, inputs, SUM)
+    result = machine.run_spmd(program, ranks=list(range(cores)))
+    return int(result.values[0])
+
+
+@pytest.mark.parametrize("stack", STACKS)
+def test_zero_rate_injector_is_bit_identical(stack):
+    bare = _elapsed_ps("allreduce", stack, 64, 8, None)
+    inert = _elapsed_ps("allreduce", stack, 64, 8, FaultPlan())
+    assert inert == bare
+
+
+@pytest.mark.parametrize("kind", ["reduce_scatter", "allgather", "bcast",
+                                  "barrier", "alltoall"])
+def test_zero_rate_identity_across_kinds(kind):
+    bare = _elapsed_ps(kind, "lightweight", 48, 6, None)
+    inert = _elapsed_ps(kind, "lightweight", 48, 6, FaultPlan())
+    assert inert == bare
+
+
+def test_checksums_knob_alone_changes_nothing_without_rates():
+    # checksums=True is the FaultPlan default; the hardened transfer
+    # path models its CRC as folded into the per-line copy costs, so an
+    # inert plan with checksums on is still timing-identical.
+    bare = _elapsed_ps("allreduce", "ircce", 96, 6, None)
+    hardened = _elapsed_ps("allreduce", "ircce", 96, 6,
+                           FaultPlan(checksums=True))
+    assert hardened == bare
+
+
+@pytest.mark.parametrize("stack", ["lightweight_balanced", "mpb"])
+def test_goldens_survive_inert_injector(stack):
+    """The calibration-lock goldens, re-measured with an inert injector
+    installed: the pre-PR numbers to the same tolerance the lock uses."""
+    machine = Machine(SCCConfig())
+    FaultInjector(FaultPlan()).install(machine)
+    comm = make_communicator(machine, stack)
+    rng = np.random.default_rng(20120901)
+    inputs = [rng.normal(size=552) for _ in range(48)]
+    program = program_for("allreduce", comm, inputs, SUM)
+    result = machine.run_spmd(program, ranks=list(range(48)))
+    latency_us = int(result.values[0]) / 1e6
+    assert latency_us == pytest.approx(GOLDEN_ALLREDUCE_552[stack],
+                                       rel=1e-3)

@@ -80,3 +80,68 @@ class TestPresets:
     def test_preset_with_override(self):
         cfg = config_for_preset("533_800_800", erratum_enabled=False)
         assert not cfg.erratum_enabled
+
+
+class TestValidationMessages:
+    """Every rejection names the offending field and the constraint."""
+
+    def test_nonpositive_mesh_cols_message(self):
+        with pytest.raises(ValueError, match="mesh_cols must be positive"):
+            SCCConfig(mesh_cols=0)
+
+    def test_nonpositive_mesh_rows_message(self):
+        with pytest.raises(ValueError, match="mesh_rows must be positive"):
+            SCCConfig(mesh_rows=-3)
+
+    def test_nonpositive_cores_per_tile_message(self):
+        with pytest.raises(ValueError,
+                           match="cores_per_tile must be positive"):
+            SCCConfig(cores_per_tile=0)
+
+    def test_flag_region_not_line_multiple(self):
+        # 100 B is not a multiple of the 32 B cache-line/flag granularity.
+        with pytest.raises(ValueError,
+                           match="cache-line/flag granularity"):
+            SCCConfig(mpb_flag_bytes=100)
+
+    def test_flag_region_must_be_positive(self):
+        with pytest.raises(ValueError,
+                           match="mpb_flag_bytes must be positive"):
+            SCCConfig(mpb_flag_bytes=0)
+
+    def test_flag_region_must_fit_in_mpb(self):
+        with pytest.raises(ValueError, match="larger than its flag region"):
+            SCCConfig(mpb_bytes_per_core=192, mpb_flag_bytes=192)
+
+    def test_line_bytes_must_hold_whole_doubles(self):
+        with pytest.raises(ValueError, match="l1_line_bytes"):
+            SCCConfig(l1_line_bytes=12)
+
+    def test_frequency_message_names_field(self):
+        with pytest.raises(ValueError, match="mesh_freq_hz must be positive"):
+            SCCConfig(mesh_freq_hz=-1)
+
+
+class TestRankCount:
+    def test_valid_counts_accepted(self):
+        cfg = SCCConfig()
+        for cores in (1, 2, 47, 48):
+            cfg.check_rank_count(cores)  # must not raise
+
+    def test_zero_cores_rejected(self):
+        with pytest.raises(ValueError, match="core count must be positive"):
+            SCCConfig().check_rank_count(0)
+
+    def test_negative_cores_rejected(self):
+        with pytest.raises(ValueError, match="core count must be positive"):
+            SCCConfig().check_rank_count(-4)
+
+    def test_count_exceeding_mesh_rejected(self):
+        with pytest.raises(ValueError, match="mesh has only 48"):
+            SCCConfig().check_rank_count(49)
+
+    def test_limit_follows_topology(self):
+        small = SCCConfig(mesh_cols=2, mesh_rows=2, cores_per_tile=2)
+        small.check_rank_count(8)
+        with pytest.raises(ValueError, match="mesh has only 8"):
+            small.check_rank_count(9)

@@ -75,3 +75,45 @@ def test_offsets_match_cumulative_sums(n, p):
     for b in range(p):
         assert part.offset(b) == acc
         acc += part.size(b)
+
+
+# --------------------------------------------------------------------- #
+# Edge cases the ring algorithms must tolerate: fewer elements than
+# ranks (n < p), empty vectors (n == 0), and the off-by-one boundary
+# n == p - 1.
+# --------------------------------------------------------------------- #
+
+@given(p=ranks, n=st.integers(min_value=0, max_value=127))
+def test_fewer_elements_than_ranks(n, p):
+    if n >= p:
+        n = n % p  # force the n < p regime
+    std = standard_partition(n, p)
+    bal = balanced_partition(n, p)
+    # Standard splitting degenerates: block 0 absorbs everything.
+    assert std.size(0) == n
+    assert all(std.size(b) == 0 for b in range(1, p))
+    # Balanced splitting caps every block at one element (gap <= 1).
+    assert bal.max_size() <= 1
+    assert bal.max_size() - bal.min_size() <= 1
+    assert sum(1 for s in bal.sizes if s == 1) == n
+
+
+@given(p=ranks)
+def test_empty_vector_is_trivially_balanced(p):
+    for maker in (standard_partition, balanced_partition):
+        part = maker(0, p)
+        assert part.sizes == (0,) * p
+        assert part.imbalance_ratio() == 1.0
+
+
+@given(p=st.integers(min_value=2, max_value=128))
+def test_one_less_element_than_ranks(p):
+    n = p - 1
+    std = standard_partition(n, p)
+    bal = balanced_partition(n, p)
+    # Standard: the whole vector lands on rank 0, imbalance unbounded.
+    assert std.size(0) == n
+    assert std.imbalance_ratio() == float("inf")
+    # Balanced: exactly one empty block, all others one element.
+    assert bal.sizes == (1,) * (p - 1) + (0,)
+    assert bal.max_size() - bal.min_size() <= 1

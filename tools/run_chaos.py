@@ -1,0 +1,34 @@
+#!/usr/bin/env python
+"""Standalone chaos-campaign entry point.
+
+Thin wrapper over ``python -m repro chaos`` for environments where the
+package is not on ``PYTHONPATH`` (CI scripts, cron soak jobs): it puts
+``src/`` on the path itself and forwards its arguments to the CLI's
+``chaos`` subcommand.
+
+Run:  python tools/run_chaos.py [--profile heavy] [--seeds 1:11] ...
+
+Exit status: 0 when every trial survives (completes bit-correct or
+fails with a typed fault/watchdog/deadlock error), 1 when any trial
+violates the hardening contract (wrong results or an unclassified
+exception).
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+
+def main(argv=None) -> int:
+    from repro.cli import main as cli_main
+
+    args = list(sys.argv[1:] if argv is None else argv)
+    return cli_main(["chaos", *args])
+
+
+if __name__ == "__main__":
+    sys.exit(main())
