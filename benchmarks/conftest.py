@@ -20,6 +20,8 @@ import pathlib
 
 import pytest
 
+from repro.bench.runner import parse_sizes_spec
+
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
 #: Curated default grid: consecutive sizes around 552 (spikes), aligned
@@ -32,8 +34,7 @@ def bench_sizes() -> list[int]:
     spec = os.environ.get("REPRO_BENCH_SIZES")
     if spec is None:
         return list(CURATED_SIZES)
-    start, stop, step = (int(x) for x in spec.split(":"))
-    return list(range(start, stop, step))
+    return parse_sizes_spec(spec, source="REPRO_BENCH_SIZES")
 
 
 @pytest.fixture(scope="session")

@@ -12,6 +12,11 @@ Environment knobs honoured by the benchmark suite:
   (default ``500:701:7``; the paper measures every size in 500..700 — use
   ``500:701:1`` to regenerate at full resolution).
 * ``REPRO_BENCH_CORES`` — ranks per measurement (default 48, the SCC).
+* ``REPRO_BENCH_JOBS`` — worker processes for sweeps (default 1;
+  ``0``/``auto`` = all CPUs).  See :mod:`repro.bench.executor`.
+* ``REPRO_BENCH_CACHE`` / ``REPRO_BENCH_CACHE_DIR`` — toggle/relocate the
+  content-addressed result cache (default on, in
+  ``benchmarks/results/.cache/``).
 """
 
 from __future__ import annotations
@@ -34,11 +39,39 @@ KINDS = ("allreduce", "reduce", "reduce_scatter", "allgather", "alltoall",
          "bcast", "barrier")
 
 
+def parse_sizes_spec(spec: str, *, source: str = "REPRO_BENCH_SIZES") -> list[int]:
+    """Parse a ``start:stop:step`` sweep specification.
+
+    Raises a :class:`ValueError` that names ``source`` (the env var or
+    option the spec came from) and the expected format, instead of the
+    bare int-conversion error a malformed spec used to produce.  Empty
+    ranges are rejected too — a sweep of zero points is always a typo.
+    """
+    parts = spec.split(":")
+    try:
+        if len(parts) != 3:
+            raise ValueError
+        start, stop, step = (int(x) for x in parts)
+    except ValueError:
+        raise ValueError(
+            f"malformed {source} spec {spec!r}: expected 'start:stop:step' "
+            f"with integer fields, e.g. '500:701:7'") from None
+    if step <= 0:
+        raise ValueError(
+            f"invalid {source} spec {spec!r}: step must be positive, "
+            f"got {step}")
+    sizes = list(range(start, stop, step))
+    if not sizes:
+        raise ValueError(
+            f"invalid {source} spec {spec!r}: the range is empty "
+            f"(start must be below stop)")
+    return sizes
+
+
 def default_sizes() -> list[int]:
     """The Fig. 9 sweep sizes, honoring ``REPRO_BENCH_SIZES``."""
     spec = os.environ.get("REPRO_BENCH_SIZES", "500:701:7")
-    start, stop, step = (int(x) for x in spec.split(":"))
-    return list(range(start, stop, step))
+    return parse_sizes_spec(spec, source="REPRO_BENCH_SIZES")
 
 
 def default_cores() -> int:
@@ -95,8 +128,10 @@ def measure_collective(kind: str, stack: str, size: int, *,
     """
     cores = cores if cores is not None else default_cores()
     config = config if config is not None else SCCConfig()
-    machine = Machine(config)
+    # Validate before paying for machine construction, so an invalid rank
+    # count fails fast with check_rank_count's message.
     config.check_rank_count(cores)
+    machine = Machine(config)
     comm = make_communicator(machine, stack)
     rng = np.random.default_rng(seed)
     inputs = [rng.normal(size=size) for _ in range(cores)]
@@ -108,7 +143,15 @@ def measure_collective(kind: str, stack: str, size: int, *,
 
 @dataclass
 class CollectiveBench:
-    """A configured sweep: one collective, several stacks, many sizes."""
+    """A configured sweep: one collective, several stacks, many sizes.
+
+    :meth:`run` executes through :mod:`repro.bench.executor`: points fan
+    out over a worker pool (``jobs``; default ``REPRO_BENCH_JOBS``) and
+    already-simulated points are served from the on-disk result cache
+    (``cache``; default ``REPRO_BENCH_CACHE``).  Both layers are
+    bit-identical to the plain sequential loop — see
+    ``docs/performance.md``.
+    """
 
     kind: str
     stacks: Sequence[str]
@@ -116,26 +159,40 @@ class CollectiveBench:
     cores: int = field(default_factory=default_cores)
     config_factory: Callable[[], SCCConfig] = SCCConfig
     op: ReduceOp = SUM
+    seed: int = 20120901
 
-    def run(self) -> dict[str, list[float]]:
+    def points(self) -> list["SweepPoint"]:
+        """The executor plan: one point per (stack, size), stacks-major."""
+        from repro.bench.executor import SweepPoint
+
+        return [
+            SweepPoint(kind=self.kind, stack=stack, size=n,
+                       cores=self.cores, op=self.op.name, seed=self.seed,
+                       config=self.config_factory())
+            for stack in self.stacks
+            for n in self.sizes
+        ]
+
+    def run(self, *, jobs: Optional[int] = None,
+            cache=None) -> dict[str, list[float]]:
         """latencies[stack] = [us per size]."""
-        out: dict[str, list[float]] = {}
-        for stack in self.stacks:
-            out[stack] = [
-                measure_collective(self.kind, stack, n, cores=self.cores,
-                                   config=self.config_factory(), op=self.op)
-                for n in self.sizes
-            ]
-        return out
+        from repro.bench.executor import run_sweep
+
+        outcome = run_sweep(self.points(), jobs=jobs, cache=cache)
+        values = iter(outcome.latencies)
+        return {stack: [next(values) for _ in self.sizes]
+                for stack in self.stacks}
 
 
 def sweep(kind: str, stacks: Sequence[str],
           sizes: Optional[Sequence[int]] = None,
-          cores: Optional[int] = None) -> dict[str, list[float]]:
+          cores: Optional[int] = None, *,
+          jobs: Optional[int] = None,
+          cache=None) -> dict[str, list[float]]:
     """Convenience wrapper around :class:`CollectiveBench`."""
     bench = CollectiveBench(
         kind, stacks,
         sizes=list(sizes) if sizes is not None else default_sizes(),
         cores=cores if cores is not None else default_cores(),
     )
-    return bench.run()
+    return bench.run(jobs=jobs, cache=cache)

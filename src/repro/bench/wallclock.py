@@ -1,0 +1,188 @@
+"""Wall-clock regression harness: how fast is the simulator itself?
+
+Everything else in :mod:`repro.bench` measures *simulated* time; this
+module measures *host* time, producing the repo's performance trajectory
+(``BENCH_wallclock.json``).  Two metric families:
+
+* **kernel events/sec** — one representative collective simulation, timed;
+  the event count comes from
+  :attr:`repro.sim.engine.Simulator.events_processed`.  This is the
+  per-point cost that the LatencyModel memoization and the sim-kernel
+  fast paths optimize.
+* **sweep wall-clock** — a small Fig.-9-style sweep executed three ways:
+  cold sequential (``jobs=1``, no cache), cold parallel (``--jobs`` N, no
+  cache), and warm (second run against a freshly populated cache).  All
+  three must return bit-identical latencies; the record carries the
+  speedup ratios.
+
+Run ``python -m repro bench --smoke`` (or ``python tools/bench_wallclock.py``)
+to regenerate the baseline; compare against the committed
+``BENCH_wallclock.json`` to catch wall-clock regressions before they land.
+Numbers are host-dependent — compare trajectories on one machine, not
+across machines (the record embeds the host fingerprint for exactly that
+reason).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import tempfile
+import time
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.bench.executor import ResultCache, SweepPoint, run_sweep
+from repro.bench.runner import program_for
+from repro.core.ops import SUM
+from repro.core.registry import make_communicator
+from repro.hw.config import SCCConfig
+from repro.hw.machine import Machine
+
+#: Schema version of BENCH_wallclock.json.
+SCHEMA = 1
+
+#: Default smoke sweep: one collective, two stacks, a handful of sizes
+#: around the paper's 552-element application case (includes a padded
+#: tail size so the per-point cost is representative).
+SMOKE_KIND = "allreduce"
+SMOKE_STACKS = ("blocking", "lightweight_balanced")
+SMOKE_SIZES = (552, 553, 554)
+
+
+def kernel_events_metric(kind: str = "allreduce",
+                         stack: str = "lightweight_balanced",
+                         size: int = 552, cores: int = 48,
+                         repeats: int = 3) -> dict:
+    """Time one collective simulation; report the best events/sec.
+
+    The best of ``repeats`` runs is reported (standard micro-benchmark
+    practice: the minimum is the least noisy estimator of the true cost).
+    """
+    best: Optional[dict] = None
+    for _ in range(repeats):
+        config = SCCConfig()
+        machine = Machine(config)
+        comm = make_communicator(machine, stack)
+        rng = np.random.default_rng(20120901)
+        inputs = [rng.normal(size=size) for _ in range(cores)]
+        program = program_for(kind, comm, inputs, SUM)
+        started = time.perf_counter()
+        result = machine.run_spmd(program, ranks=list(range(cores)))
+        seconds = time.perf_counter() - started
+        events = machine.sim.events_processed
+        sample = {
+            "kind": kind, "stack": stack, "size": size, "cores": cores,
+            "events": events,
+            "seconds": round(seconds, 6),
+            "events_per_second": round(events / seconds),
+            "simulated_us": round(result.elapsed_us, 3),
+        }
+        if best is None or sample["events_per_second"] > best["events_per_second"]:
+            best = sample
+    best["repeats"] = repeats
+    return best
+
+
+def sweep_wallclock(kind: str = SMOKE_KIND,
+                    stacks: Sequence[str] = SMOKE_STACKS,
+                    sizes: Sequence[int] = SMOKE_SIZES,
+                    cores: int = 48,
+                    jobs: Optional[int] = None) -> dict:
+    """Cold-sequential / cold-parallel / warm-cache timings of one sweep.
+
+    The parallel leg always uses at least two workers so the
+    multiprocessing path is genuinely exercised (and its bit-identity
+    checked) even on single-CPU hosts, where it will honestly record a
+    speedup below 1.
+    """
+    jobs = jobs if jobs is not None else max(2, min(4, os.cpu_count() or 1))
+
+    def plan() -> list[SweepPoint]:
+        return [SweepPoint(kind=kind, stack=stack, size=n, cores=cores)
+                for stack in stacks for n in sizes]
+
+    cold_seq = run_sweep(plan(), jobs=1, cache=False)
+    cold_par = run_sweep(plan(), jobs=jobs, cache=False)
+    with tempfile.TemporaryDirectory(prefix="repro-wallclock-") as tmp:
+        store = ResultCache(tmp)
+        populate = run_sweep(plan(), jobs=1, cache=store)
+        warm = run_sweep(plan(), jobs=1, cache=store)
+    identical = (cold_seq.latencies == cold_par.latencies
+                 == populate.latencies == warm.latencies)
+    return {
+        "kind": kind,
+        "stacks": list(stacks),
+        "sizes": list(sizes),
+        "cores": cores,
+        "points": cold_seq.points,
+        "cold_sequential_s": round(cold_seq.wall_s, 4),
+        "cold_parallel_s": round(cold_par.wall_s, 4),
+        "cold_parallel_jobs": jobs,
+        "warm_cache_s": round(warm.wall_s, 4),
+        "parallel_speedup": round(cold_seq.wall_s / cold_par.wall_s, 3),
+        "warm_fraction_of_cold": round(warm.wall_s / cold_seq.wall_s, 4),
+        "bit_identical": identical,
+    }
+
+
+def collect_baseline(*, smoke: bool = True, jobs: Optional[int] = None,
+                     cores: Optional[int] = None,
+                     sizes: Optional[Sequence[int]] = None) -> dict:
+    """Assemble the full BENCH_wallclock.json payload."""
+    cores = cores if cores is not None else 48
+    sizes = tuple(sizes) if sizes is not None else SMOKE_SIZES
+    if not smoke:
+        sizes = tuple(range(500, 701, 7))
+    kernel = kernel_events_metric(cores=cores, size=sizes[-1],
+                                  repeats=3 if smoke else 5)
+    sweep_record = sweep_wallclock(sizes=sizes, cores=cores, jobs=jobs)
+    return {
+        "schema": SCHEMA,
+        "generated_by": "repro.bench.wallclock",
+        "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "smoke": smoke,
+        "host": {
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "cpus": os.cpu_count(),
+            "numpy": np.__version__,
+        },
+        "kernel": kernel,
+        "sweeps": [sweep_record],
+    }
+
+
+def write_baseline(path: str, data: dict) -> None:
+    with open(path, "w") as fh:
+        json.dump(data, fh, indent=2, sort_keys=False)
+        fh.write("\n")
+
+
+def format_baseline(data: dict) -> str:
+    """Human-readable digest of a baseline record."""
+    kernel = data["kernel"]
+    lines = [
+        f"kernel: {kernel['events_per_second']:,} events/s "
+        f"({kernel['events']:,} events in {kernel['seconds']:.3f}s; "
+        f"{kernel['kind']}/{kernel['stack']} n={kernel['size']} "
+        f"p={kernel['cores']})",
+    ]
+    for sw in data["sweeps"]:
+        lines.append(
+            f"sweep : {sw['kind']} x {len(sw['stacks'])} stacks x "
+            f"{len(sw['sizes'])} sizes (p={sw['cores']}, "
+            f"{sw['points']} points)")
+        lines.append(
+            f"        cold sequential {sw['cold_sequential_s']:.2f}s | "
+            f"cold --jobs {sw['cold_parallel_jobs']} "
+            f"{sw['cold_parallel_s']:.2f}s "
+            f"({sw['parallel_speedup']:.2f}x) | "
+            f"warm cache {sw['warm_cache_s']:.3f}s "
+            f"({100 * sw['warm_fraction_of_cold']:.1f}% of cold)")
+        lines.append(
+            f"        bit-identical across all paths: "
+            f"{sw['bit_identical']}")
+    return "\n".join(lines)

@@ -8,6 +8,8 @@ Examples::
     python -m repro fig10 --cycles 4
     python -m repro stepwise
     python -m repro sweep allreduce --stacks blocking mpb --sizes 552:577:4
+    python -m repro bench allreduce --stacks blocking mpb --jobs 4
+    python -m repro bench --smoke
     python -m repro gcmc --stack mpb --cycles 5
     python -m repro profile allreduce --stack mpb --sizes 1024
     python -m repro chaos --profile heavy --seeds 1:6 --trace-out chaos
@@ -29,7 +31,7 @@ from repro.bench.figures import (
     fig10,
 )
 from repro.bench.report import Series, format_series_table
-from repro.bench.runner import KINDS, measure_collective, sweep
+from repro.bench.runner import KINDS, default_cores, measure_collective, sweep
 from repro.core.registry import STACKS, make_communicator
 from repro.hw.config import CLOCK_PRESETS, SCCConfig
 from repro.hw.machine import Machine
@@ -109,6 +111,53 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     series = [Series.from_lists(stack, sizes, data[stack])
               for stack in args.stacks]
     print(format_series_table(series))
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.bench.executor import ResultCache, SweepPoint, run_sweep
+    from repro.bench.runner import default_sizes
+    from repro.bench.wallclock import (
+        collect_baseline,
+        format_baseline,
+        write_baseline,
+    )
+
+    if args.smoke:
+        data = collect_baseline(smoke=True, jobs=args.jobs,
+                                cores=args.cores,
+                                sizes=(_parse_sizes(args.sizes)
+                                       if args.sizes else None))
+        out = args.wallclock_out or "BENCH_wallclock.json"
+        write_baseline(out, data)
+        print(format_baseline(data))
+        print(f"wrote {out}")
+        return 0
+
+    sizes = _parse_sizes(args.sizes) if args.sizes else default_sizes()
+    cores = args.cores if args.cores is not None else default_cores()
+    cache = (False if args.no_cache
+             else ResultCache(args.cache_dir) if args.cache_dir else None)
+    points = [SweepPoint(kind=args.kind, stack=stack, size=n, cores=cores)
+              for stack in args.stacks for n in sizes]
+    outcome = run_sweep(points, jobs=args.jobs, cache=cache)
+    values = iter(outcome.latencies)
+    data = {stack: [next(values) for _ in sizes] for stack in args.stacks}
+    series = [Series.from_lists(stack, sizes, data[stack])
+              for stack in args.stacks]
+    print(format_series_table(series))
+    print(f"{outcome.points} points in {outcome.wall_s:.2f}s "
+          f"(jobs={outcome.jobs}, cache hits {outcome.hits}, "
+          f"simulated {outcome.misses})")
+    if args.wallclock_out:
+        payload = {
+            "kind": args.kind, "stacks": list(args.stacks), "sizes": sizes,
+            "cores": cores, "points": outcome.points,
+            "wall_s": round(outcome.wall_s, 4), "jobs": outcome.jobs,
+            "cache_hits": outcome.hits, "simulated": outcome.misses,
+        }
+        write_baseline(args.wallclock_out, payload)
+        print(f"wrote {args.wallclock_out}")
     return 0
 
 
@@ -248,6 +297,33 @@ def build_parser() -> argparse.ArgumentParser:
                         help="start:stop:step or comma list")
     psweep.add_argument("--cores", type=int, default=None)
     psweep.set_defaults(func=_cmd_sweep)
+
+    pbench = sub.add_parser(
+        "bench",
+        help="parallel, cached sweep engine + wall-clock baseline")
+    pbench.add_argument("kind", nargs="?", choices=list(KINDS),
+                        default="allreduce")
+    pbench.add_argument("--stacks", nargs="+", choices=list(STACKS),
+                        default=["blocking", "lightweight_balanced"])
+    pbench.add_argument("--sizes", default=None,
+                        help="start:stop:step or comma list "
+                             "(default: REPRO_BENCH_SIZES)")
+    pbench.add_argument("--cores", type=int, default=None)
+    pbench.add_argument("--jobs", type=int, default=None,
+                        help="worker processes (default REPRO_BENCH_JOBS "
+                             "or 1; 0 = all CPUs)")
+    pbench.add_argument("--no-cache", action="store_true",
+                        help="bypass the on-disk result cache")
+    pbench.add_argument("--cache-dir", default=None,
+                        help="cache directory (default "
+                             "benchmarks/results/.cache or "
+                             "REPRO_BENCH_CACHE_DIR)")
+    pbench.add_argument("--smoke", action="store_true",
+                        help="run the wall-clock smoke baseline and write "
+                             "BENCH_wallclock.json")
+    pbench.add_argument("--wallclock-out", default=None,
+                        help="write wall-clock numbers to this JSON file")
+    pbench.set_defaults(func=_cmd_bench)
 
     pprof = sub.add_parser(
         "profile",

@@ -21,7 +21,7 @@ from repro.hw.config import SCCConfig
 from repro.hw.flags import Flag
 from repro.hw.mpb import MPB
 from repro.hw.timing import LatencyModel
-from repro.hw.topology import Topology
+from repro.hw.topology import Topology, default_topology
 from repro.sim.clock import ps_to_us
 from repro.sim.engine import Simulator
 from repro.sim.events import Event
@@ -140,8 +140,12 @@ class Machine:
                  tracer: Optional[Tracer] = None):
         self.config = config if config is not None else SCCConfig()
         self.sim = Simulator(tracer)
-        self.topology = Topology(self.config.mesh_cols, self.config.mesh_rows,
-                                 self.config.cores_per_tile)
+        # Topology is immutable, so machines with the same geometry share
+        # one instance (a sweep builds thousands of Machines; rebuilding
+        # the mesh helpers per point is pure waste).
+        self.topology: Topology = default_topology(
+            self.config.mesh_cols, self.config.mesh_rows,
+            self.config.cores_per_tile)
         self.latency = LatencyModel(self.config, self.topology)
         self.cores = [Core(self, i) for i in range(self.config.num_cores)]
         self.mpbs = [

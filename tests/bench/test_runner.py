@@ -3,11 +3,13 @@
 import numpy as np
 import pytest
 
+from repro.bench import runner
 from repro.bench.runner import (
     CollectiveBench,
     default_cores,
     default_sizes,
     measure_collective,
+    parse_sizes_spec,
     sweep,
 )
 from repro.hw.config import SCCConfig
@@ -41,6 +43,19 @@ class TestMeasure:
 
     def test_too_many_cores_rejected(self):
         with pytest.raises(ValueError):
+            measure_collective("allreduce", "blocking", 8, cores=99,
+                               config=SCCConfig(mesh_cols=2, mesh_rows=1))
+
+    def test_rank_count_checked_before_machine_build(self, monkeypatch):
+        """An oversubscribed sweep point must fail with the clear
+        check_rank_count message, not whatever Machine construction
+        happens to raise first."""
+        def exploding_machine(config):
+            raise AssertionError("Machine was constructed before the "
+                                 "rank-count check")
+
+        monkeypatch.setattr(runner, "Machine", exploding_machine)
+        with pytest.raises(ValueError, match="mesh has only"):
             measure_collective("allreduce", "blocking", 8, cores=99,
                                config=SCCConfig(mesh_cols=2, mesh_rows=1))
 
@@ -87,3 +102,40 @@ class TestEnvKnobs:
         sizes = default_sizes()
         assert sizes[0] == 500
         assert sizes[-1] <= 700
+
+
+class TestSizesSpec:
+    """parse_sizes_spec rejects malformed/empty specs with clear errors."""
+
+    def test_valid_spec(self):
+        assert parse_sizes_spec("500:701:7")[:2] == [500, 507]
+
+    @pytest.mark.parametrize("spec", ["", "10", "10:20", "10:20:5:1",
+                                      "a:20:5", "10:b:5", "10:20:c",
+                                      "10;20;5"])
+    def test_malformed_spec_names_env_var_and_format(self, spec):
+        with pytest.raises(ValueError) as exc:
+            parse_sizes_spec(spec)
+        message = str(exc.value)
+        assert "REPRO_BENCH_SIZES" in message
+        assert "start:stop:step" in message
+        assert repr(spec) in message
+
+    @pytest.mark.parametrize("spec", ["10:20:0", "10:20:-5"])
+    def test_nonpositive_step_rejected(self, spec):
+        with pytest.raises(ValueError, match="step must be positive"):
+            parse_sizes_spec(spec)
+
+    @pytest.mark.parametrize("spec", ["20:10:5", "10:10:5"])
+    def test_empty_range_rejected(self, spec):
+        with pytest.raises(ValueError, match="range is empty"):
+            parse_sizes_spec(spec)
+
+    def test_custom_source_label(self):
+        with pytest.raises(ValueError, match="--sizes"):
+            parse_sizes_spec("oops", source="--sizes")
+
+    def test_default_sizes_propagates_error(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SIZES", "500-700-7")
+        with pytest.raises(ValueError, match="REPRO_BENCH_SIZES"):
+            default_sizes()

@@ -1,0 +1,120 @@
+"""Memoized LatencyModel vs the recompute-every-call reference.
+
+The fast tests here are tier-1: they pin the memoization's correctness,
+including across the fault injector's mid-run ``erratum_enabled`` toggle.
+The ``wallclock``-marked micro-benchmark sweeps a much larger argument
+grid and times the cached path; it is excluded from the default pytest
+run (see ``pyproject.toml``) and runs via
+``pytest -m wallclock tests/hw/test_timing_memo.py``.
+"""
+
+import time
+
+import pytest
+
+from repro.hw.config import SCCConfig
+from repro.hw.timing import LatencyModel
+from repro.hw.topology import Topology
+
+
+def models(**config_overrides):
+    """(memoized, reference) pair over the standard 48-core geometry."""
+    topo = Topology()
+    return (LatencyModel(SCCConfig(**config_overrides), topo, cache=True),
+            LatencyModel(SCCConfig(**config_overrides), topo, cache=False))
+
+
+#: A small but representative argument grid: local access, same-tile
+#: remote, cross-chip corners, plus aligned/padded byte counts.
+CORE_PAIRS = [(0, 0), (0, 1), (1, 0), (0, 47), (47, 0), (13, 13), (5, 29)]
+NBYTES = [1, 31, 32, 33, 64, 4416, 4417]
+
+
+class TestMemoizedEqualsReference:
+    @pytest.mark.parametrize("erratum", [True, False])
+    def test_all_methods_match(self, erratum):
+        memo, ref = models(erratum_enabled=erratum)
+        for a, o in CORE_PAIRS:
+            assert memo.mpb_access(a, o) == ref.mpb_access(a, o)
+            assert memo.flag_write(a, o) == ref.flag_write(a, o)
+            assert memo.flag_notify(a, o) == ref.flag_notify(a, o)
+            assert memo.dram_access(a) == ref.dram_access(a)
+            for nbytes in NBYTES:
+                assert (memo.mpb_write_bytes(a, o, nbytes)
+                        == ref.mpb_write_bytes(a, o, nbytes))
+                assert (memo.mpb_read_bytes(a, o, nbytes)
+                        == ref.mpb_read_bytes(a, o, nbytes))
+                assert (memo.mpb_stream_read(a, o, nbytes)
+                        == ref.mpb_stream_read(a, o, nbytes))
+                assert (memo.mpb_stream_write(a, o, nbytes)
+                        == ref.mpb_stream_write(a, o, nbytes))
+        for nbytes in NBYTES:
+            assert (memo.private_copy_bytes(nbytes)
+                    == ref.private_copy_bytes(nbytes))
+        for n in (0, 1, 552):
+            assert memo.reduce_doubles(n) == ref.reduce_doubles(n)
+
+    def test_repeated_lookups_stable(self):
+        memo, ref = models()
+        first = memo.mpb_write_bytes(0, 1, 552 * 8)
+        for _ in range(3):
+            assert memo.mpb_write_bytes(0, 1, 552 * 8) == first
+        assert first == ref.mpb_write_bytes(0, 1, 552 * 8)
+
+    def test_erratum_toggle_switches_tables(self):
+        """The fault injector flips ``erratum_enabled`` on a *live* config;
+        the memo must serve the other level's values, not stale ones."""
+        memo, _ = models(erratum_enabled=True)
+        ref_fixed = LatencyModel(SCCConfig(erratum_enabled=False),
+                                 Topology(), cache=False)
+        buggy_local = memo.mpb_access(3, 3)       # populate erratum table
+        memo.config.erratum_enabled = False       # what the injector does
+        assert memo.mpb_access(3, 3) == ref_fixed.mpb_access(3, 3)
+        assert memo.mpb_access(3, 3) != buggy_local
+        memo.config.erratum_enabled = True        # toggle back
+        assert memo.mpb_access(3, 3) == buggy_local
+        assert (memo.mpb_write_bytes(3, 3, 64)
+                == LatencyModel(SCCConfig(erratum_enabled=True), Topology(),
+                                cache=False).mpb_write_bytes(3, 3, 64))
+
+    def test_invalidate_resnapshots_mutated_fields(self):
+        memo, _ = models()
+        before = memo.flag_write(0, 1)
+        memo.config.flag_write_extra_cycles += 100
+        memo.invalidate()
+        after = memo.flag_write(0, 1)
+        expected = LatencyModel(memo.config, memo.topology,
+                                cache=False).flag_write(0, 1)
+        assert after == expected
+        assert after > before
+
+
+@pytest.mark.wallclock
+class TestMicroBenchmark:
+    """Large-grid identity sweep + cached-path timing (not tier-1)."""
+
+    def test_full_grid_identity_and_speed(self):
+        memo, ref = models()
+        pairs = [(a, o) for a in range(0, 48, 5) for o in range(0, 48, 7)]
+        sizes = list(range(0, 4500, 93)) + [1, 31, 33]
+        for a, o in pairs:
+            for nbytes in sizes:
+                assert (memo.mpb_write_bytes(a, o, nbytes)
+                        == ref.mpb_write_bytes(a, o, nbytes))
+                assert (memo.mpb_read_bytes(a, o, nbytes)
+                        == ref.mpb_read_bytes(a, o, nbytes))
+        # Warm-table lookups should beat recomputation comfortably; use a
+        # generous 1.2x bound so the assertion never flakes on CI noise
+        # while still catching a memoization that silently stopped caching.
+        args = [(a, o, n) for a, o in pairs for n in sizes[:20]]
+        t0 = time.perf_counter()
+        for a, o, n in args * 5:
+            memo.mpb_write_bytes(a, o, n)
+        cached_s = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        for a, o, n in args * 5:
+            ref.mpb_write_bytes(a, o, n)
+        reference_s = time.perf_counter() - t0
+        assert cached_s * 1.2 < reference_s, (
+            f"memoized path ({cached_s:.4f}s) is not faster than the "
+            f"reference ({reference_s:.4f}s)")

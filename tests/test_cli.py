@@ -78,3 +78,58 @@ class TestCommands:
         assert "Fig. 6" in out
         assert "Section IV" in out
         assert "Fig. 10" in out
+
+
+class TestBenchCommand:
+    def test_bench_sweep_with_cache_dir(self, capsys, tmp_path):
+        cache = tmp_path / "cache"
+        argv = ["bench", "allreduce", "--stacks", "blocking", "lightweight",
+                "--sizes", "16,20", "--cores", "4", "--jobs", "1",
+                "--cache-dir", str(cache)]
+        assert main(argv) == 0
+        cold = capsys.readouterr().out
+        assert "blocking" in cold and "lightweight" in cold
+        assert "4 points" in cold
+        assert "simulated 4" in cold
+        assert main(argv) == 0  # second run is served from the cache
+        warm = capsys.readouterr().out
+        assert "cache hits 4" in warm and "simulated 0" in warm
+
+    def test_bench_no_cache_writes_nothing(self, capsys, tmp_path,
+                                           monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_CACHE_DIR", str(tmp_path))
+        assert main(["bench", "barrier", "--stacks", "lightweight",
+                     "--sizes", "8", "--cores", "4", "--jobs", "1",
+                     "--no-cache"]) == 0
+        assert "cache hits 0" in capsys.readouterr().out
+        assert not any(tmp_path.rglob("*.json"))
+
+    def test_bench_wallclock_out(self, capsys, tmp_path):
+        import json
+
+        out = tmp_path / "wall.json"
+        assert main(["bench", "bcast", "--stacks", "lightweight",
+                     "--sizes", "8", "--cores", "4", "--jobs", "1",
+                     "--no-cache", "--wallclock-out", str(out)]) == 0
+        payload = json.loads(out.read_text())
+        assert payload["kind"] == "bcast"
+        assert payload["points"] == 1
+        assert payload["simulated"] == 1
+
+    def test_bench_smoke_small(self, capsys, tmp_path):
+        import json
+
+        out = tmp_path / "BENCH_wallclock.json"
+        assert main(["bench", "--smoke", "--sizes", "8,12", "--cores", "4",
+                     "--jobs", "2", "--wallclock-out", str(out)]) == 0
+        digest = capsys.readouterr().out
+        assert "events/s" in digest
+        assert "bit-identical across all paths: True" in digest
+        data = json.loads(out.read_text())
+        assert data["schema"] == 1
+        assert data["kernel"]["events_per_second"] > 0
+        assert data["sweeps"][0]["bit_identical"] is True
+
+    def test_bench_rejects_unknown_stack(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["bench", "--stacks", "openmpi"])

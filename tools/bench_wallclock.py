@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""Wall-clock regression harness entry point.
+
+Measures simulator events/sec and the wall-clock of a Fig.-9-style sweep
+run cold-sequential, cold-parallel and warm-from-cache, then writes the
+record to ``BENCH_wallclock.json`` (the repo's performance trajectory —
+compare against the committed baseline on the same machine to catch
+wall-clock regressions).
+
+Thin wrapper over :mod:`repro.bench.wallclock` for environments where the
+package is not on ``PYTHONPATH`` (CI scripts): it puts ``src/`` on the
+path itself.  ``python -m repro bench --smoke`` is the same measurement
+through the CLI.
+
+Run:  python tools/bench_wallclock.py [--full] [--jobs N] [--out PATH]
+
+Exit status: 0 when the three execution paths returned bit-identical
+latencies, 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+
+def main(argv=None) -> int:
+    from repro.bench.wallclock import (
+        collect_baseline,
+        format_baseline,
+        write_baseline,
+    )
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--full", action="store_true",
+                        help="full-resolution sweep (minutes) instead of "
+                             "the seconds-scale smoke grid")
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="parallel worker count for the cold-parallel "
+                             "leg (default: min(4, CPUs))")
+    parser.add_argument("--cores", type=int, default=None,
+                        help="ranks per point (default 48)")
+    parser.add_argument("--out", default=os.path.join(REPO_ROOT,
+                                                      "BENCH_wallclock.json"),
+                        help="output path (default BENCH_wallclock.json "
+                             "at the repo root)")
+    args = parser.parse_args(argv)
+
+    data = collect_baseline(smoke=not args.full, jobs=args.jobs,
+                            cores=args.cores)
+    write_baseline(args.out, data)
+    print(format_baseline(data))
+    print(f"wrote {args.out}")
+    return 0 if all(s["bit_identical"] for s in data["sweeps"]) else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())
