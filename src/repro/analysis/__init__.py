@@ -1,0 +1,40 @@
+"""Static and dynamic correctness tooling for the collective stack.
+
+The paper's optimizations all trade synchronization away for speed, which
+is exactly where flag races, stale MPB reads and buffer-reuse bugs creep
+in.  This package catches those classes of bug mechanically:
+
+* :mod:`repro.analysis.sanitizer` — an opt-in **runtime MPB/flag
+  sanitizer** that shadow-tracks every MPB payload byte and every
+  synchronization flag through a protocol state machine and reports
+  diagnostics (read-before-publish, write-while-reader-pending,
+  overlapping slot allocation, out-of-bounds access, flag races, stale
+  reads).  Pure observation: it never consumes simulated time, and with
+  the sanitizer absent every hook site is a single ``is not None`` check.
+* :mod:`repro.analysis.lint` — an AST-based **static determinism/protocol
+  lint** (``python -m repro lint``) enforcing repo invariants: no
+  wall-clock time or unseeded randomness inside the simulation layers, no
+  MPB accesses bypassing the transfer API outside the sanctioned layers,
+  ``span(...)`` only used as a context manager, paired ``.begin``/.end``
+  trace tags, no float equality on virtual-time values, no unused
+  imports.
+* :mod:`repro.analysis.fixtures` — known-bad SPMD schedules that the
+  sanitizer must flag (the subsystem's own regression corpus).
+
+See ``docs/static-analysis.md`` for the state machine, the diagnostic
+catalogue and the lint rule list.
+"""
+
+from repro.analysis.sanitizer import (
+    ByteState,
+    Diagnostic,
+    Sanitizer,
+    SanitizerError,
+)
+
+__all__ = [
+    "ByteState",
+    "Diagnostic",
+    "Sanitizer",
+    "SanitizerError",
+]

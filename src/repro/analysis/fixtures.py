@@ -1,0 +1,199 @@
+"""Known-bad SPMD schedules the sanitizer must flag.
+
+Each fixture builds a tiny protocol that violates exactly one rule of the
+MPB discipline (see :mod:`repro.analysis.sanitizer`): reading before the
+writer's flag, overwriting a published buffer, reusing an unconsumed
+slot, racing a flag, reading corrupted bytes.  They serve two purposes:
+
+* **Detector tests** — ``tests/analysis/test_sanitizer_gate.py`` runs
+  every fixture and asserts the expected rule fires (a sanitizer that
+  goes quiet on these is broken, the mirror image of the clean-stack
+  gate asserting zero findings on the real collectives).
+* **Worked examples** — each fixture is the runnable form of one entry
+  in the diagnostic catalogue of ``docs/static-analysis.md``.
+
+The ``stale-read`` fixture is seeded through the fault injector's
+payload-corruption hook (``payload_corrupt_prob=1``) rather than by
+poking MPB bytes directly, so it exercises the same
+:meth:`~repro.analysis.sanitizer.Sanitizer.on_corrupt` path real chaos
+runs do.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Generator, Optional
+
+import numpy as np
+
+from repro.analysis.sanitizer import Sanitizer
+from repro.faults import FaultInjector, FaultPlan
+from repro.hw.machine import CoreEnv, Machine
+from repro.hw.mpb import MPBError
+from repro.rcce.transfer import get_bytes, put_bytes
+
+#: Virtual-time offsets that order the two ranks' accesses decisively
+#: (both are orders of magnitude above any single MPB access cost).
+_EARLY_PS = 10_000_000      # 10 us: after the writer's copy has landed
+_LATE_PS = 50_000_000       # 50 us: long after the reader misbehaved
+
+_PAYLOAD = np.arange(64, dtype=np.uint8)
+
+
+@dataclass(frozen=True)
+class Fixture:
+    """One known-bad schedule and the rule(s) it must trigger."""
+
+    name: str
+    rules: tuple[str, ...]
+    builder: Callable[[Machine], Callable[[CoreEnv], Generator]]
+    plan: Optional[FaultPlan] = None
+    ranks: int = 2
+
+
+def _read_before_publish(machine: Machine):
+    region = machine.mpbs[1].alloc(_PAYLOAD.size)
+    sent = machine.flag(1, "fx.sent")
+
+    def program(env: CoreEnv) -> Generator:
+        if env.rank == 1:
+            yield from put_bytes(env, region, _PAYLOAD)
+            yield from env.sleep(_LATE_PS)
+            yield from sent.set_by(env.core)    # far too late
+        else:
+            yield from env.sleep(_EARLY_PS)
+            # BUG: reads the freshly written bytes without waiting for
+            # the writer's flag — the data is there, but nothing
+            # synchronized on it.
+            yield from get_bytes(env, region, _PAYLOAD.size)
+            yield from sent.wait_set(env.core)
+    return program
+
+
+def _uninit_read(machine: Machine):
+    region = machine.mpbs[1].alloc(_PAYLOAD.size)
+
+    def program(env: CoreEnv) -> Generator:
+        if env.rank == 0:
+            # BUG: reads a slot nobody has ever written.
+            yield from get_bytes(env, region, _PAYLOAD.size)
+        else:
+            yield from env.sleep(_EARLY_PS)
+    return program
+
+
+def _write_while_reader_pending(machine: Machine):
+    region = machine.mpbs[0].alloc(_PAYLOAD.size)
+    sent = machine.flag(1, "fx.sent")
+
+    def program(env: CoreEnv) -> Generator:
+        if env.rank == 0:
+            yield from put_bytes(env, region, _PAYLOAD)
+            yield from sent.set_by(env.core)    # published to rank 1
+            # BUG: overwrites the buffer before rank 1 (who was just
+            # signalled) consumed it — no ready hand-back in between.
+            yield from put_bytes(env, region, _PAYLOAD[::-1].copy())
+        else:
+            yield from sent.wait_set(env.core)
+            yield from env.sleep(_LATE_PS)      # lags; reads too late
+            yield from get_bytes(env, region, _PAYLOAD.size)
+    return program
+
+
+def _overlapping_alloc(machine: Machine):
+    sent = machine.flag(1, "fx.sent")
+
+    def program(env: CoreEnv) -> Generator:
+        if env.rank == 0:
+            mpb = env.my_mpb()
+            region = mpb.alloc(_PAYLOAD.size)
+            yield from put_bytes(env, region, _PAYLOAD)
+            yield from sent.set_by(env.core)
+            # BUG: recycles the allocator while the slot's bytes are
+            # still published to an unconsumed reader.
+            mpb.reset_alloc()
+            mpb.alloc(_PAYLOAD.size)
+        else:
+            yield from sent.wait_set(env.core)
+            yield from env.sleep(_LATE_PS)
+    return program
+
+
+def _oob_access(machine: Machine):
+    region = machine.mpbs[0].alloc(32)
+
+    def program(env: CoreEnv) -> Generator:
+        if env.rank == 0:
+            try:
+                # BUG: reads past the end of the allocated slot.  The
+                # hardware model raises; the sanitizer records the site.
+                region.read(region.size + 32, actor=env.core_id)
+            except MPBError:
+                pass
+        yield from env.sleep(_EARLY_PS)
+    return program
+
+
+def _flag_double_set(machine: Machine):
+    go = machine.flag(0, "fx.go")
+
+    def program(env: CoreEnv) -> Generator:
+        if env.rank == 0:
+            yield from go.set_by(env.core)
+        else:
+            yield from env.sleep(_EARLY_PS)
+            # BUG: second set while rank 0's (unobserved) signal is
+            # still up — one of the two notifications is lost.
+            yield from go.set_by(env.core)
+    return program
+
+
+def _stale_read(machine: Machine):
+    region = machine.mpbs[1].alloc(_PAYLOAD.size)
+    sent = machine.flag(1, "fx.sent")
+
+    def program(env: CoreEnv) -> Generator:
+        if env.rank == 1:
+            # The injector (payload_corrupt_prob=1, checksums off)
+            # flips a byte right after this copy lands; publishing and
+            # reading it without any verify pass is a stale read.
+            yield from put_bytes(env, region, _PAYLOAD)
+            yield from sent.set_by(env.core)
+        else:
+            yield from sent.wait_set(env.core)
+            yield from get_bytes(env, region, _PAYLOAD.size)
+    return program
+
+
+FIXTURES: tuple[Fixture, ...] = (
+    Fixture("read-before-publish", ("read-before-publish",),
+            _read_before_publish),
+    Fixture("uninit-read", ("uninit-read",), _uninit_read),
+    Fixture("write-while-reader-pending", ("write-while-reader-pending",),
+            _write_while_reader_pending),
+    Fixture("overlapping-alloc", ("overlapping-alloc",), _overlapping_alloc),
+    Fixture("oob-access", ("oob-access",), _oob_access),
+    Fixture("flag-double-set", ("flag-double-set",), _flag_double_set),
+    Fixture("stale-read", ("stale-read",), _stale_read,
+            plan=FaultPlan(payload_corrupt_prob=1.0, checksums=False,
+                           seed=20120901)),
+)
+
+
+def fixture(name: str) -> Fixture:
+    for fx in FIXTURES:
+        if fx.name == name:
+            return fx
+    raise KeyError(f"no fixture named {name!r}; "
+                   f"have {[f.name for f in FIXTURES]}")
+
+
+def run_fixture(fx: Fixture) -> Sanitizer:
+    """Run one fixture under a fresh machine; returns its sanitizer."""
+    machine = Machine()
+    if fx.plan is not None:
+        FaultInjector(fx.plan).install(machine)
+    san = Sanitizer().install(machine)
+    program = fx.builder(machine)
+    machine.run_spmd(program, ranks=list(range(fx.ranks)))
+    return san

@@ -1,0 +1,406 @@
+"""Runtime MPB/flag sanitizer: shadow state for every payload byte.
+
+The sanitizer mirrors the hardware the way a memory sanitizer mirrors the
+heap: every MPB payload byte carries a protocol state
+
+    UNWRITTEN -> WRITTEN -> PUBLISHED -> CONSUMED
+                     \\________________/
+                        STALE (invalidated)
+
+* a timed MPB **write** by core ``w`` moves the bytes to ``WRITTEN`` and
+  records ``w`` as the writer;
+* a timed **flag set** by ``w`` *publishes* all of ``w``'s pending written
+  bytes (the flag is the only mechanism a reader may synchronize on);
+* a timed **read** by another core moves ``PUBLISHED`` bytes to
+  ``CONSUMED``;
+* injected payload corruption (and only corruption — see
+  :meth:`Sanitizer.on_corrupt`) invalidates published bytes to ``STALE``.
+
+Any access that does not fit the machine is a :class:`Diagnostic`:
+reading bytes a writer has not published, overwriting bytes a reader has
+been signalled about but has not yet consumed, re-reading consumed bytes,
+reading stale or never-written bytes, allocating over unconsumed data,
+out-of-bounds accesses, and flag write-write races (double set, double
+clear, clearing an unobserved signal).
+
+Design rules, mirroring the fault injector:
+
+* **Zero overhead off.**  Every hook site guards on the sanitizer
+  reference being ``None``; an uninstrumented run executes the exact
+  pre-existing code path.
+* **Pure observation on.**  The sanitizer never consumes simulated time,
+  so even an *instrumented* run has bit-identical latencies
+  (``tests/analysis/test_zero_overhead.py`` asserts both directions).
+* **Attribution.**  Timed accesses carry the acting core
+  (:mod:`repro.rcce.transfer` and the MPB-direct Allreduce pass it);
+  untimed bookkeeping accesses (test setup, ``Flag.force``) pass no actor
+  and are exempt from diagnostics.
+
+Each diagnostic records the virtual time, the acting and owning cores,
+the active ``round`` span and the full obs-span stack of the actor, so a
+report line reads like a stack trace of the simulated protocol.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import IntEnum
+from typing import TYPE_CHECKING, Any, Optional
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.hw.flags import Flag
+    from repro.hw.machine import Machine
+    from repro.hw.mpb import MPB
+
+
+class ByteState(IntEnum):
+    """Protocol state of one shadowed MPB payload byte."""
+
+    UNWRITTEN = 0
+    WRITTEN = 1    #: written, not yet published through a flag set
+    PUBLISHED = 2  #: writer set a flag after writing
+    CONSUMED = 3   #: read by a non-writer after publication
+    STALE = 4      #: invalidated (corrupted after write/publish)
+
+
+#: Diagnostic rule identifiers (the catalogue in docs/static-analysis.md).
+RULES = (
+    "oob-access",
+    "flag-region-write",
+    "read-before-publish",
+    "uninit-read",
+    "stale-read",
+    "write-while-reader-pending",
+    "overlapping-alloc",
+    "flag-double-set",
+    "flag-double-clear",
+    "flag-unobserved-clear",
+)
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One sanitizer finding."""
+
+    time_ps: int
+    rule: str
+    actor: Optional[int]        #: acting core (None = unattributed)
+    owner: int                  #: core owning the MPB / flag
+    offset: Optional[int] = None
+    nbytes: Optional[int] = None
+    flag: Optional[str] = None
+    round: Any = None           #: innermost active ``round`` span detail
+    spans: tuple = ()           #: actor's open span names, outermost first
+    message: str = ""
+
+    def __str__(self) -> str:
+        where = (f"flag[{self.owner}].{self.flag}" if self.flag is not None
+                 else f"mpb[{self.owner}]"
+                 + (f"[{self.offset}:{self.offset + (self.nbytes or 0)}]"
+                    if self.offset is not None else ""))
+        actor = f"core{self.actor}" if self.actor is not None else "<setup>"
+        ctx = ">".join(self.spans) or "-"
+        rnd = f" round={self.round}" if self.round is not None else ""
+        return (f"[{self.time_ps:>12d}ps] {self.rule}: {actor} @ {where}"
+                f"{rnd} span={ctx}: {self.message}")
+
+
+class SanitizerError(AssertionError):
+    """Raised by :meth:`Sanitizer.assert_clean` when diagnostics exist."""
+
+    def __init__(self, diagnostics: list[Diagnostic]):
+        self.diagnostics = diagnostics
+        shown = "\n".join(str(d) for d in diagnostics[:20])
+        more = (f"\n... and {len(diagnostics) - 20} more"
+                if len(diagnostics) > 20 else "")
+        super().__init__(
+            f"sanitizer found {len(diagnostics)} diagnostic(s):\n"
+            f"{shown}{more}")
+
+
+@dataclass
+class _FlagShadow:
+    """Tracked state of one synchronization flag."""
+
+    level: bool = False
+    setter: Optional[int] = None   #: core of the last timed set
+    observed: bool = True          #: was the last change waited on/read?
+
+
+@dataclass
+class _MPBShadow:
+    """Per-MPB shadow arrays."""
+
+    state: np.ndarray
+    writer: np.ndarray
+    reader: np.ndarray
+    live: list[tuple[int, int]] = field(default_factory=list)
+
+
+class Sanitizer:
+    """Shadow-state tracker attachable to one :class:`Machine`.
+
+    Usage::
+
+        san = Sanitizer().install(machine)
+        machine.run_spmd(program)
+        san.assert_clean()          # or inspect san.diagnostics
+    """
+
+    def __init__(self, max_diagnostics: int = 1000):
+        self.machine: Optional["Machine"] = None
+        self.diagnostics: list[Diagnostic] = []
+        self.max_diagnostics = max_diagnostics
+        #: Total findings, including those beyond the storage cap.
+        self.total_findings = 0
+        self._mpbs: dict[int, _MPBShadow] = {}
+        self._flags: dict[tuple[int, str], _FlagShadow] = {}
+        #: Pending (unpublished) write intervals per writer core.
+        self._pending: dict[int, list[tuple[int, int, int]]] = {}
+        #: Open obs spans per core: [(name, detail), ...].
+        self._spans: dict[int, list[tuple[str, Any]]] = {}
+
+    # -- lifecycle -------------------------------------------------------
+    def install(self, machine: "Machine") -> "Sanitizer":
+        if machine.san is not None:
+            raise RuntimeError("machine already has a sanitizer")
+        self.machine = machine
+        machine.san = self
+        machine.sim.san = self
+        for mpb in machine.mpbs:
+            mpb.san = self
+            self._mpbs[mpb.core_id] = _MPBShadow(
+                state=np.zeros(mpb.size, dtype=np.uint8),
+                writer=np.full(mpb.size, -1, dtype=np.int16),
+                reader=np.full(mpb.size, -1, dtype=np.int16),
+            )
+        return self
+
+    def uninstall(self) -> None:
+        machine = self.machine
+        if machine is None:
+            return
+        machine.san = None
+        machine.sim.san = None
+        for mpb in machine.mpbs:
+            mpb.san = None
+        self.machine = None
+
+    # -- reporting -------------------------------------------------------
+    def _report(self, rule: str, actor: Optional[int], owner: int, *,
+                offset: Optional[int] = None, nbytes: Optional[int] = None,
+                flag: Optional[str] = None, message: str = "") -> None:
+        self.total_findings += 1
+        if len(self.diagnostics) >= self.max_diagnostics:
+            return
+        stack = self._spans.get(actor, []) if actor is not None else []
+        rnd = next((d for n, d in reversed(stack) if n == "round"), None)
+        self.diagnostics.append(Diagnostic(
+            time_ps=self.machine.sim.now if self.machine else 0,
+            rule=rule, actor=actor, owner=owner, offset=offset,
+            nbytes=nbytes, flag=flag, round=rnd,
+            spans=tuple(n for n, _ in stack), message=message))
+
+    def counts(self) -> dict[str, int]:
+        """Findings per rule (of the stored diagnostics)."""
+        out: dict[str, int] = {}
+        for d in self.diagnostics:
+            out[d.rule] = out.get(d.rule, 0) + 1
+        return dict(sorted(out.items()))
+
+    def assert_clean(self) -> None:
+        if self.diagnostics:
+            raise SanitizerError(self.diagnostics)
+
+    # -- span context (fed by repro.obs.spans) ---------------------------
+    def on_span_enter(self, core_id: int, name: str, detail: Any) -> None:
+        self._spans.setdefault(core_id, []).append((name, detail))
+
+    def on_span_exit(self, core_id: int, name: str) -> None:
+        stack = self._spans.get(core_id)
+        if stack and stack[-1][0] == name:
+            stack.pop()
+
+    # -- MPB hooks -------------------------------------------------------
+    def on_oob(self, mpb: "MPB", kind: str, offset: int,
+               nbytes: int) -> None:
+        """An out-of-bounds raw access (recorded just before MPBError)."""
+        self._report("oob-access", None, mpb.core_id, offset=offset,
+                     nbytes=nbytes,
+                     message=f"{kind} outside MPB of {mpb.size} B")
+
+    def on_write(self, mpb: "MPB", offset: int, nbytes: int,
+                 actor: Optional[int]) -> None:
+        if nbytes <= 0:
+            return
+        shadow = self._mpbs[mpb.core_id]
+        end = offset + nbytes
+        st = shadow.state[offset:end]
+        if actor is not None:
+            if offset < mpb.payload_offset:
+                self._report(
+                    "flag-region-write", actor, mpb.core_id, offset=offset,
+                    nbytes=nbytes,
+                    message="payload write overlaps the reserved flag "
+                            "region")
+            pending = int(np.count_nonzero(st == ByteState.PUBLISHED))
+            if pending:
+                self._report(
+                    "write-while-reader-pending", actor, mpb.core_id,
+                    offset=offset, nbytes=nbytes,
+                    message=f"{pending} B still published to a reader that "
+                            "has not consumed them (missing ready "
+                            "handshake?)")
+        st[:] = ByteState.WRITTEN if actor is not None else ByteState.PUBLISHED
+        shadow.writer[offset:end] = actor if actor is not None else -1
+        shadow.reader[offset:end] = -1
+        if actor is not None:
+            self._pending.setdefault(actor, []).append(
+                (mpb.core_id, offset, end))
+
+    def on_read(self, mpb: "MPB", offset: int, nbytes: int,
+                actor: Optional[int]) -> None:
+        if nbytes <= 0 or actor is None:
+            return
+        shadow = self._mpbs[mpb.core_id]
+        end = offset + nbytes
+        st = shadow.state[offset:end]
+        wr = shadow.writer[offset:end]
+        rd = shadow.reader[offset:end]
+        stale = int(np.count_nonzero(st == ByteState.STALE))
+        if stale:
+            self._report(
+                "stale-read", actor, mpb.core_id, offset=offset,
+                nbytes=nbytes,
+                message=f"{stale} B were invalidated after publication "
+                        "(corrupted or superseded)")
+        unpub = int(np.count_nonzero(
+            (st == ByteState.WRITTEN) & (wr != actor) & (wr >= 0)))
+        if unpub:
+            self._report(
+                "read-before-publish", actor, mpb.core_id, offset=offset,
+                nbytes=nbytes,
+                message=f"{unpub} B written by core "
+                        f"{int(wr[(st == ByteState.WRITTEN) & (wr >= 0)][0])}"
+                        " but never published through a flag")
+        uninit = int(np.count_nonzero(st == ByteState.UNWRITTEN))
+        if uninit:
+            self._report(
+                "uninit-read", actor, mpb.core_id, offset=offset,
+                nbytes=nbytes,
+                message=f"{uninit} B have never been written")
+        reread = int(np.count_nonzero(
+            (st == ByteState.CONSUMED) & (rd == actor)))
+        if reread:
+            self._report(
+                "stale-read", actor, mpb.core_id, offset=offset,
+                nbytes=nbytes,
+                message=f"{reread} B re-read by their consumer without an "
+                        "intervening write (duplicate/stale data)")
+        # Transition: published bytes read by a non-writer are consumed.
+        consume = (st == ByteState.PUBLISHED) & (wr != actor)
+        st[consume] = ByteState.CONSUMED
+        rd[consume] = actor
+        # A different reader of consumed bytes is a legal multi-consumer
+        # pattern; record the most recent reader.
+        rd[(st == ByteState.CONSUMED) & (rd != actor) & (rd >= 0)] = actor
+
+    def on_alloc(self, mpb: "MPB", offset: int, nbytes: int) -> None:
+        shadow = self._mpbs[mpb.core_id]
+        end = offset + nbytes
+        st = shadow.state[offset:end]
+        busy = int(np.count_nonzero(
+            (st == ByteState.WRITTEN) | (st == ByteState.PUBLISHED)))
+        if busy:
+            self._report(
+                "overlapping-alloc", None, mpb.core_id, offset=offset,
+                nbytes=nbytes,
+                message=f"allocation covers {busy} B of unconsumed data "
+                        "from a previous slot (double-free / slot reuse "
+                        "without a flag round)")
+        shadow.live.append((offset, end))
+
+    def on_reset_alloc(self, mpb: "MPB") -> None:
+        self._mpbs[mpb.core_id].live.clear()
+
+    def on_clear(self, mpb: "MPB") -> None:
+        """``MPB.clear``: a full reset is setup, not protocol traffic."""
+        shadow = self._mpbs[mpb.core_id]
+        shadow.state[:] = ByteState.UNWRITTEN
+        shadow.writer[:] = -1
+        shadow.reader[:] = -1
+        shadow.live.clear()
+        for intervals in self._pending.values():
+            intervals[:] = [iv for iv in intervals if iv[0] != mpb.core_id]
+
+    def on_corrupt(self, mpb: "MPB", offset: int) -> None:
+        """Injected payload corruption invalidates the byte: a later read
+        without an intervening (repairing) write is a stale read."""
+        self._mpbs[mpb.core_id].state[offset] = ByteState.STALE
+
+    # -- flag hooks ------------------------------------------------------
+    def _flag_shadow(self, flag: "Flag") -> _FlagShadow:
+        key = (flag.owner, flag.name)
+        shadow = self._flags.get(key)
+        if shadow is None:
+            shadow = self._flags[key] = _FlagShadow(level=flag.value)
+        return shadow
+
+    def _publish(self, actor: int) -> None:
+        """A timed flag set by ``actor`` publishes its pending writes."""
+        intervals = self._pending.get(actor)
+        if not intervals:
+            return
+        written = ByteState.WRITTEN
+        for mpb_id, start, end in intervals:
+            shadow = self._mpbs[mpb_id]
+            st = shadow.state[start:end]
+            mask = (st == written) & (shadow.writer[start:end] == actor)
+            st[mask] = ByteState.PUBLISHED
+        intervals.clear()
+
+    def on_flag_write(self, flag: "Flag", level: bool, actor: int) -> None:
+        """A timed flag write, observed *before* the level is applied."""
+        shadow = self._flag_shadow(flag)
+        prev = flag.value
+        if level:
+            if prev:
+                self._report(
+                    "flag-double-set", actor, flag.owner, flag=flag.name,
+                    message="set while already set"
+                            + (f" by core {shadow.setter}"
+                               if shadow.setter is not None else "")
+                            + ("" if shadow.observed
+                               else " and not yet observed (lost "
+                                    "notification)"))
+            shadow.level = True
+            shadow.setter = actor
+            shadow.observed = False
+            self._publish(actor)
+        else:
+            if not prev:
+                self._report(
+                    "flag-double-clear", actor, flag.owner, flag=flag.name,
+                    message="cleared while already clear")
+            elif (not shadow.observed and shadow.setter is not None
+                  and shadow.setter != actor):
+                self._report(
+                    "flag-unobserved-clear", actor, flag.owner,
+                    flag=flag.name,
+                    message=f"cleared core {shadow.setter}'s signal before "
+                            "any core observed it")
+            shadow.level = False
+
+    def on_flag_observed(self, flag: "Flag", level: bool,
+                         actor: int) -> None:
+        """A wait/read on the flag completed: the level has been seen."""
+        self._flag_shadow(flag).observed = True
+
+    def on_flag_force(self, flag: "Flag", level: bool) -> None:
+        """Untimed bookkeeping write: reset tracking, no publication."""
+        shadow = self._flag_shadow(flag)
+        shadow.level = level
+        shadow.setter = None
+        shadow.observed = True

@@ -13,6 +13,8 @@ Examples::
     python -m repro gcmc --stack mpb --cycles 5
     python -m repro profile allreduce --stack mpb --sizes 1024
     python -m repro chaos --profile heavy --seeds 1:6 --trace-out chaos
+    python -m repro lint
+    python -m repro sanitize allreduce --stacks mpb --cores 2 47 48
 """
 
 from __future__ import annotations
@@ -246,6 +248,47 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 1 if camp.failures() else 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analysis.lint import main as lint_main
+
+    return lint_main(args.paths)
+
+
+def _cmd_sanitize(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from repro.analysis.sanitizer import Sanitizer
+    from repro.bench.runner import program_for
+    from repro.core.ops import SUM
+
+    kinds = tuple(args.kinds) if args.kinds else KINDS
+    stacks = tuple(args.stacks) if args.stacks else tuple(STACKS)
+    total = 0
+    for kind in kinds:
+        for stack in stacks:
+            for cores in args.cores:
+                machine = Machine(SCCConfig())
+                san = Sanitizer().install(machine)
+                comm = make_communicator(machine, stack)
+                rng = np.random.default_rng(20120901)
+                inputs = [rng.normal(size=args.size) for _ in range(cores)]
+                program = program_for(kind, comm, inputs, SUM)
+                machine.run_spmd(program, ranks=list(range(cores)))
+                label = f"{kind}/{stack} p={cores} n={args.size}"
+                if san.total_findings:
+                    total += san.total_findings
+                    print(f"{label}: {san.total_findings} finding(s) "
+                          f"{san.counts()}")
+                    for diag in san.diagnostics[:args.show]:
+                        print(f"  {diag}")
+                else:
+                    print(f"{label}: clean")
+    if total:
+        print(f"sanitize: {total} finding(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_paper(args: argparse.Namespace) -> int:
     """One-shot reproduction digest: Fig. 6, the Section-IV chain, and a
     compact Fig. 10 (full Fig. 9 panels via `fig9`, they take minutes)."""
@@ -360,6 +403,27 @@ def build_parser() -> argparse.ArgumentParser:
                         help="directory for a Chrome trace of one "
                              "traced trial")
     pchaos.set_defaults(func=_cmd_chaos)
+
+    plint = sub.add_parser(
+        "lint",
+        help="static determinism/protocol lint over src/repro")
+    plint.add_argument("paths", nargs="*",
+                       help="files or directories (default: the installed "
+                            "repro package tree)")
+    plint.set_defaults(func=_cmd_lint)
+
+    psan = sub.add_parser(
+        "sanitize",
+        help="run collectives under the MPB/flag sanitizer")
+    psan.add_argument("kinds", nargs="*", choices=list(KINDS),
+                      help="collectives to check (default: all)")
+    psan.add_argument("--stacks", nargs="+", choices=list(STACKS))
+    psan.add_argument("--cores", nargs="+", type=int, default=[2, 47, 48])
+    psan.add_argument("--size", type=int, default=96,
+                      help="vector length per rank (doubles)")
+    psan.add_argument("--show", type=int, default=5,
+                      help="diagnostics to print per failing point")
+    psan.set_defaults(func=_cmd_sanitize)
 
     pp = sub.add_parser("paper",
                         help="one-shot digest: Fig. 6 + Section IV + Fig. 10")

@@ -26,7 +26,7 @@ from repro.core import alt_algorithms as _alt
 from repro.core import bcast as _bcast
 from repro.core import reduce as _reduce
 from repro.core import scan as _scan
-from repro.core.allgather import ring_allgather, ring_allgather_blocks
+from repro.core.allgather import ring_allgather
 from repro.core.barrier import dissemination_barrier
 from repro.core.blocks import Partition, Partitioner, standard_partition
 from repro.core.mpb_allreduce import mpb_allreduce

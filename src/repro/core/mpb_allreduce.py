@@ -60,8 +60,10 @@ def _pair_flags(env: CoreEnv, producer: int, half: int) -> tuple[Flag, Flag]:
 
     ``sent`` lives at the consumer (the producer's right neighbour);
     ``ready`` lives at the producer.  ``ready`` starts True ("buffer
-    free"); the handshake is self-restoring, so forcing it True at entry
-    is idempotent across calls.
+    free") and the handshake is self-restoring: every produced write is
+    matched by a consume that re-raises ``ready``, so at the end of a
+    call both halves are free again and a later call can rely on the
+    flag state it inherits.
     """
     consumer = (producer + 1) % env.size
     sent = env.machine.flag(env.core_of_rank(consumer),
@@ -108,8 +110,19 @@ def mpb_allreduce(comm: "Communicator", env: CoreEnv, sendbuf: np.ndarray,
     # I handshake with my left neighbour.
     prod_flags = [_pair_flags(env, me, h) for h in (0, 1)]
     cons_flags = [_pair_flags(env, left, h) for h in (0, 1)]
-    for _sent, ready in prod_flags:
-        ready.force(True)
+    # Initialize ``ready`` ("my half is free") exactly once per (core,
+    # half), the first time this core ever produces on that half.  The
+    # handshake is self-restoring afterwards, and forcing on *every*
+    # entry is a cross-call race: a producer that re-enters while its
+    # (lagging) consumer has not yet drained the final write of the
+    # previous call would wipe the consumer's hand-back and overwrite
+    # the still-published half.  Found by the MPB sanitizer
+    # (write-while-reader-pending); see docs/static-analysis.md.
+    init_done = env.machine.services.setdefault("mpbar.ready_init", set())
+    for half, (_sent, ready) in enumerate(prod_flags):
+        if (me_core, half) not in init_done:
+            init_done.add((me_core, half))
+            ready.force(True)
 
     round_overhead = lat.core_cycles(cfg.mpb_round_overhead_cycles)
 
@@ -135,7 +148,9 @@ def mpb_allreduce(comm: "Communicator", env: CoreEnv, sendbuf: np.ndarray,
         attempts = 0
         while True:
             yield from env.consume(verify_cost, "overhead")
-            if np.array_equal(region.read(raw.size), raw):
+            # Direct region access: the verify read-back is charged above
+            # as one fused burst.  # repro-lint: allow=mpb-direct-write
+            if np.array_equal(region.read(raw.size, actor=me_core), raw):
                 return
             attempts += 1
             faults.record("mpb_repair", f"core{me_core}",
@@ -148,7 +163,8 @@ def mpb_allreduce(comm: "Communicator", env: CoreEnv, sendbuf: np.ndarray,
                     epoch=fault_epoch)
             with span(env, "retry", attempts):
                 yield from env.consume(rewrite_cost, "copy")
-                region.write(raw)
+                # repro-lint: allow=mpb-direct-write (cost charged above)
+                region.write(raw, actor=me_core)
             faults.maybe_corrupt(region, raw.size, actor=f"core{me_core}",
                                  boost=epoch_faulty)
 
@@ -161,7 +177,10 @@ def mpb_allreduce(comm: "Communicator", env: CoreEnv, sendbuf: np.ndarray,
             yield from ready.clear_by(env.core)
         with span(env, "copy", data.nbytes):
             yield from env.consume(write_cost, "copy")
-            my_halves[half].write(as_bytes(data))
+            # Direct region access is the whole point of this algorithm
+            # (optimization D); the streaming cost is charged above.
+            # repro-lint: allow=mpb-direct-write
+            my_halves[half].write(as_bytes(data), actor=me_core)
         if verify_writes:
             yield from verify_half(half, as_bytes(data))
         yield from sent.set_by(env.core)
@@ -202,7 +221,9 @@ def mpb_allreduce(comm: "Communicator", env: CoreEnv, sendbuf: np.ndarray,
             with span(env, "reduce", nels):
                 yield from env.consume(cost, "compute")
             operand = np.empty(nels, dtype=dtype)
-            region.read_into(operand.view(np.uint8).reshape(-1))
+            # repro-lint: allow=mpb-direct-write (fused-burst cost above)
+            region.read_into(operand.view(np.uint8).reshape(-1),
+                             actor=me_core)
             combined = op(sendbuf[part.slice_of(block)], operand)
             yield from consume_end(r)
             if r < p - 2:
@@ -229,7 +250,9 @@ def mpb_allreduce(comm: "Communicator", env: CoreEnv, sendbuf: np.ndarray,
                     + lat.mpb_read_bytes(me_core, left_core, nbytes),
                     "copy")
             incoming = np.empty(nels, dtype=dtype)
-            region.read_into(incoming.view(np.uint8).reshape(-1))
+            # repro-lint: allow=mpb-direct-write (copy cost charged above)
+            region.read_into(incoming.view(np.uint8).reshape(-1),
+                             actor=me_core)
             result[part.slice_of(block)] = incoming
             yield from consume_end(p - 1 + g)
             if g < p - 2:

@@ -17,8 +17,6 @@ label                        composition
 
 from __future__ import annotations
 
-from typing import Union
-
 from repro.core.blocks import balanced_partition, standard_partition
 from repro.core.comm import Communicator
 from repro.hw.machine import Machine

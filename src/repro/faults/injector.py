@@ -156,7 +156,12 @@ class FaultInjector:
         if nbytes <= 0 or not self._chance(prob):
             return False
         offset = region.offset + at + int(self.rng.integers(0, nbytes))
+        # Silent bit-flip: deliberately bypasses the transfer API so no
+        # core is charged.  # repro-lint: allow=mpb-direct-write
         region.mpb.data[offset] ^= np.uint8(0xFF)
+        san = self.machine.san if self.machine is not None else None
+        if san is not None:
+            san.on_corrupt(region.mpb, offset)
         self.record("payload_corrupt", actor,
                     {"mpb": region.owner, "offset": offset})
         return True

@@ -53,6 +53,8 @@ class Flag:
         faults = machine.faults
         if faults is None:
             yield from core.consume(cost, "overhead")
+            if machine.san is not None:
+                machine.san.on_flag_write(self, level, core.core_id)
             self._apply(level)
             return
         # Fault-aware path: mesh jitter on the write, and a write-verify
@@ -72,6 +74,8 @@ class Flag:
                     flag=self.name, level=level)
             verify = machine.latency.mpb_access(core.core_id, self.owner)
             yield from core.consume(verify + cost, "overhead")
+        if machine.san is not None:
+            machine.san.on_flag_write(self, level, core.core_id)
         self._apply(level)
 
     def _apply(self, level: bool) -> None:
@@ -99,10 +103,14 @@ class Flag:
         event.label = ("wait_set" if level else "wait_clear",
                        self.gate.name)
         yield from core.wait(event, "wait_flag")
+        if machine.san is not None:
+            machine.san.on_flag_observed(self, level, core.core_id)
 
     # -- untimed operations (simulation bookkeeping) -----------------------
     def force(self, value: bool) -> None:
         """Set the level without charging anyone (test/setup helper)."""
+        if self.machine.san is not None:
+            self.machine.san.on_flag_force(self, value)
         if value:
             self.gate.set()
         else:

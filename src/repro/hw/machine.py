@@ -29,6 +29,7 @@ from repro.sim.resources import FifoLock
 from repro.sim.trace import TimeAccount, Tracer
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.analysis.sanitizer import Sanitizer
     from repro.faults.injector import FaultInjector
 
 
@@ -166,6 +167,9 @@ class Machine:
         #: being non-None, so fault-free runs pay one attribute check and
         #: execute the exact pre-existing code path (zero overhead).
         self.faults: Optional["FaultInjector"] = None
+        #: MPB/flag sanitizer, or None (same zero-overhead discipline;
+        #: see :mod:`repro.analysis.sanitizer`).
+        self.san: Optional["Sanitizer"] = None
 
     @property
     def num_cores(self) -> int:

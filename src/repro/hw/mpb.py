@@ -14,7 +14,12 @@ send buffers and double-buffer halves.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING, Optional
+
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.analysis.sanitizer import Sanitizer
 
 
 class MPBError(Exception):
@@ -35,27 +40,41 @@ class MPBRegion:
     def owner(self) -> int:
         return self.mpb.core_id
 
-    def write(self, data: np.ndarray, at: int = 0) -> None:
-        """Copy ``data`` (any dtype, C-contiguous) into the region."""
+    def write(self, data: np.ndarray, at: int = 0,
+              actor: Optional[int] = None) -> None:
+        """Copy ``data`` (any dtype, C-contiguous) into the region.
+
+        ``actor`` attributes the access to a core for the MPB sanitizer;
+        accesses without an actor are treated as untimed setup.
+        """
         raw = as_bytes(data)
         if at < 0 or at + raw.size > self.size:
+            san = self.mpb.san
+            if san is not None:
+                san.on_oob(self.mpb, "region write", self.offset + at,
+                           int(raw.size))
             raise MPBError(
                 f"write of {raw.size} B at {at} exceeds region of {self.size} B"
             )
-        self.mpb.write(self.offset + at, raw)
+        self.mpb.write(self.offset + at, raw, actor=actor)
 
-    def read(self, nbytes: int, at: int = 0) -> np.ndarray:
+    def read(self, nbytes: int, at: int = 0,
+             actor: Optional[int] = None) -> np.ndarray:
         """Read ``nbytes`` from the region (returns a fresh uint8 array)."""
         if at < 0 or at + nbytes > self.size:
+            san = self.mpb.san
+            if san is not None:
+                san.on_oob(self.mpb, "region read", self.offset + at, nbytes)
             raise MPBError(
                 f"read of {nbytes} B at {at} exceeds region of {self.size} B"
             )
-        return self.mpb.read(self.offset + at, nbytes)
+        return self.mpb.read(self.offset + at, nbytes, actor=actor)
 
-    def read_into(self, out: np.ndarray, at: int = 0) -> None:
+    def read_into(self, out: np.ndarray, at: int = 0,
+                  actor: Optional[int] = None) -> None:
         """Read ``out.nbytes`` bytes from the region into ``out``."""
         raw = out.view(np.uint8).reshape(-1)
-        raw[:] = self.read(raw.size, at)
+        raw[:] = self.read(raw.size, at, actor=actor)
 
     def halves(self) -> tuple["MPBRegion", "MPBRegion"]:
         """Split into two equal double-buffer halves (line-aligned)."""
@@ -76,7 +95,7 @@ class MPB:
 
     __slots__ = ("core_id", "size", "line_bytes", "payload_offset",
                  "data", "_alloc_ptr", "io_reads", "io_read_bytes",
-                 "io_writes", "io_write_bytes")
+                 "io_writes", "io_write_bytes", "san")
 
     def __init__(self, core_id: int, size: int, line_bytes: int,
                  flag_bytes: int):
@@ -88,25 +107,41 @@ class MPB:
         self.payload_offset = flag_bytes
         self.data = np.zeros(size, dtype=np.uint8)
         self._alloc_ptr = flag_bytes
+        #: MPB sanitizer, or None.  Hook sites guard on this being
+        #: non-None, so uninstrumented runs pay one attribute check
+        #: (the same zero-overhead discipline as ``machine.faults``).
+        self.san: Optional["Sanitizer"] = None
         self.reset_counters()
 
     # -- raw access ---------------------------------------------------------
-    def write(self, offset: int, raw: np.ndarray) -> None:
+    def write(self, offset: int, raw: np.ndarray,
+              actor: Optional[int] = None) -> None:
+        san = self.san
         if offset < 0 or offset + raw.size > self.size:
+            if san is not None:
+                san.on_oob(self, "write", offset, int(raw.size))
             raise MPBError(
                 f"MPB[{self.core_id}]: write of {raw.size} B at offset "
                 f"{offset} out of bounds (size {self.size})"
             )
+        if san is not None:
+            san.on_write(self, offset, int(raw.size), actor)
         self.data[offset:offset + raw.size] = raw
         self.io_writes += 1
         self.io_write_bytes += int(raw.size)
 
-    def read(self, offset: int, nbytes: int) -> np.ndarray:
+    def read(self, offset: int, nbytes: int,
+             actor: Optional[int] = None) -> np.ndarray:
+        san = self.san
         if offset < 0 or offset + nbytes > self.size:
+            if san is not None:
+                san.on_oob(self, "read", offset, nbytes)
             raise MPBError(
                 f"MPB[{self.core_id}]: read of {nbytes} B at offset "
                 f"{offset} out of bounds (size {self.size})"
             )
+        if san is not None:
+            san.on_read(self, offset, nbytes, actor)
         self.io_reads += 1
         self.io_read_bytes += nbytes
         return self.data[offset:offset + nbytes].copy()
@@ -132,11 +167,15 @@ class MPB:
                 f"({self.size - start} B free)"
             )
         self._alloc_ptr = start + nbytes
+        if self.san is not None:
+            self.san.on_alloc(self, start, nbytes)
         return MPBRegion(self, start, nbytes)
 
     def reset_alloc(self) -> None:
         """Release all payload allocations (data bytes are untouched)."""
         self._alloc_ptr = self.payload_offset
+        if self.san is not None:
+            self.san.on_reset_alloc(self)
 
     def reset_counters(self) -> None:
         """Zero the access counters (reads/writes of actual SRAM bytes,
@@ -149,6 +188,8 @@ class MPB:
     def clear(self) -> None:
         self.data[:] = 0
         self.reset_alloc()
+        if self.san is not None:
+            self.san.on_clear(self)
 
 
 def as_bytes(array: np.ndarray) -> np.ndarray:

@@ -55,24 +55,39 @@ _NULL_SPAN = _NullSpan()
 
 
 class _LiveSpan:
-    """Emits the ``.begin`` / ``.end`` record pair around a block."""
+    """Emits the ``.begin`` / ``.end`` record pair around a block.
 
-    __slots__ = ("_env", "_tracer", "name", "detail")
+    When a runtime sanitizer is attached to the simulator, the span also
+    feeds the sanitizer's per-core protocol context (so diagnostics can
+    name the collective, round and phase they fired inside) — still pure
+    observation, no simulated time is consumed either way.
+    """
 
-    def __init__(self, env: Any, tracer: Any, name: str, detail: Any):
+    __slots__ = ("_env", "_tracer", "_san", "name", "detail")
+
+    def __init__(self, env: Any, tracer: Any, san: Any, name: str,
+                 detail: Any):
         self._env = env
         self._tracer = tracer
+        self._san = san
         self.name = name
         self.detail = detail
 
     def __enter__(self) -> "_LiveSpan":
-        self._tracer.emit(self._env.now, f"core{self._env.core_id}",
-                          f"{self.name}.begin", self.detail)
+        if self._tracer.enabled:
+            self._tracer.emit(self._env.now, f"core{self._env.core_id}",
+                              f"{self.name}.begin", self.detail)
+        if self._san is not None:
+            self._san.on_span_enter(self._env.core_id, self.name,
+                                    self.detail)
         return self
 
     def __exit__(self, *exc: Any) -> None:
-        self._tracer.emit(self._env.now, f"core{self._env.core_id}",
-                          f"{self.name}.end", self.detail)
+        if self._tracer.enabled:
+            self._tracer.emit(self._env.now, f"core{self._env.core_id}",
+                              f"{self.name}.end", self.detail)
+        if self._san is not None:
+            self._san.on_span_exit(self._env.core_id, self.name)
         return None
 
 
@@ -86,13 +101,15 @@ def span(env: Any, name: str, detail: Any = None) -> Any:
             yield from full_exchange(...)
 
     ``env`` is anything with ``now``, ``core_id`` and a reachable tracer
-    (a :class:`~repro.hw.machine.CoreEnv`).  Disabled tracer → shared
-    no-op, no records, no allocation.
+    (a :class:`~repro.hw.machine.CoreEnv`).  Disabled tracer and no
+    attached sanitizer → shared no-op, no records, no allocation.
     """
-    tracer = env.sim.tracer
-    if not tracer.enabled:
+    sim = env.sim
+    tracer = sim.tracer
+    san = sim.san
+    if san is None and not tracer.enabled:
         return _NULL_SPAN
-    return _LiveSpan(env, tracer, name, detail)
+    return _LiveSpan(env, tracer, san, name, detail)
 
 
 @dataclass(eq=False)

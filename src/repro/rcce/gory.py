@@ -31,7 +31,7 @@ from typing import Generator
 import numpy as np
 
 from repro.hw.machine import CoreEnv, Machine
-from repro.hw.mpb import MPBError, MPBRegion
+from repro.hw.mpb import MPBRegion
 from repro.rcce.transfer import get_bytes, put_bytes
 
 

@@ -58,7 +58,7 @@ def put_bytes(env: CoreEnv, region: MPBRegion, raw: np.ndarray,
     if faults is not None:
         cost += faults.mesh_extra_ps(env.core_id, region.owner)
     yield from env.core.consume_at_mpb(region.owner, cost, "copy")
-    region.write(raw, at=at)
+    region.write(raw, at=at, actor=env.core_id)
     if faults is not None:
         faults.maybe_corrupt(region, nbytes, at=at,
                              actor=f"core{env.core_id}")
@@ -74,4 +74,4 @@ def get_bytes(env: CoreEnv, region: MPBRegion, nbytes: int,
     if faults is not None:
         cost += faults.mesh_extra_ps(env.core_id, region.owner)
     yield from env.core.consume_at_mpb(region.owner, cost, "copy")
-    return region.read(nbytes, at=at)
+    return region.read(nbytes, at=at, actor=env.core_id)

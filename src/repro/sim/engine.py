@@ -55,6 +55,10 @@ class Simulator:
         self.tracer = tracer if tracer is not None else Tracer(enabled=False)
         #: Total events dispatched by this simulator (perf accounting).
         self.events_processed: int = 0
+        #: Attached runtime sanitizer, or None.  Lives on the simulator so
+        #: observation layers that only see ``env.sim`` (the obs spans)
+        #: can feed it protocol context without a machine reference.
+        self.san = None
 
     # -- time ------------------------------------------------------------
     @property

@@ -1,0 +1,54 @@
+"""CI self-check: the repo's own source tree passes its own lint.
+
+This runs in the default test selection, so any PR that reintroduces a
+wall-clock read, an unseeded RNG, an unrouted MPB access or an unused
+import into ``src/repro`` fails the suite — the standing static gate
+the runtime sanitizer complements.
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.analysis.lint import default_root, lint_paths
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+ENV = {**os.environ, "PYTHONPATH": str(REPO_ROOT / "src")}
+
+
+def test_src_tree_is_lint_clean():
+    findings = lint_paths([default_root()])
+    assert findings == [], "\n".join(str(f) for f in findings)
+
+
+def test_cli_lint_subcommand_passes():
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", "lint"],
+        cwd=REPO_ROOT, capture_output=True, text=True, env=ENV,
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+
+
+def test_cli_lint_reports_findings_nonzero(tmp_path):
+    bad = tmp_path / "repro" / "sim" / "bad.py"
+    bad.parent.mkdir(parents=True)
+    bad.write_text("import time\n\ndef f():\n    return time.time()\n")
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", "lint", str(bad)],
+        cwd=REPO_ROOT, capture_output=True, text=True, env=ENV,
+    )
+    assert proc.returncode == 1
+    assert f"{bad}:4:" in proc.stdout
+    assert "wallclock-time" in proc.stdout
+
+
+def test_static_checks_gate_passes_without_external_tools():
+    # ruff/mypy may or may not be installed; the gate must succeed either
+    # way on a clean tree (missing tools are SKIPPED, never failures).
+    proc = subprocess.run(
+        [sys.executable, str(REPO_ROOT / "tools" / "run_static_checks.py")],
+        cwd=REPO_ROOT, capture_output=True, text=True,
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert "repro-lint" in proc.stdout

@@ -120,6 +120,7 @@ class TestSpanContextManager:
         class Env:
             class sim:
                 tracer = Tracer(enabled=False)
+                san = None
         a, b = span(Env, "copy"), span(Env, "reduce", 7)
         assert a is b  # one shared object, no allocation per call site
         with a:
@@ -134,7 +135,7 @@ class TestSpanContextManager:
             core_id = 3
 
             class sim:
-                pass
+                san = None
         Env.sim.tracer = tracer
         with span(Env, "copy", detail=128):
             Env.now = 99

@@ -1,0 +1,22 @@
+#!/usr/bin/env python
+"""Run the repo's own AST lint (``python -m repro lint``) from anywhere.
+
+Thin launcher so CI recipes and editors can call one script without
+setting ``PYTHONPATH``; all rules, waivers and the exit contract live in
+:mod:`repro.analysis.lint`.
+
+Run:  python tools/run_lint.py [paths...]
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+from repro.analysis.lint import main  # noqa: E402
+
+if __name__ == "__main__":
+    sys.exit(main())

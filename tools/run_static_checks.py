@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""One-shot static-analysis gate: ruff + mypy + the repo's own AST lint.
+
+The external tools are optional (install via ``pip install -e
+'.[lint]'``; versions are pinned in ``pyproject.toml``): when a tool is
+missing, its check is reported as SKIPPED and does not fail the gate —
+containers that only carry the runtime toolchain still get the full
+in-repo lint.  ``python -m repro lint`` always runs and always gates.
+
+Exit status: 0 when every executed check passes, 1 otherwise.
+
+Run:  python tools/run_static_checks.py [--verbose]
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib.util
+import os
+import subprocess
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SRC = os.path.join(REPO_ROOT, "src")
+sys.path.insert(0, SRC)
+
+
+def _have(module: str) -> bool:
+    try:
+        return importlib.util.find_spec(module) is not None
+    except (ImportError, ValueError):
+        return False
+
+
+def _run_external(name: str, argv: list[str], verbose: bool) -> str:
+    """Run one optional external tool; returns PASS/FAIL/SKIP."""
+    if not _have(name):
+        print(f"SKIP {name}: not installed "
+              f"(pip install -e '.[lint]' to enable)")
+        return "SKIP"
+    proc = subprocess.run(argv, cwd=REPO_ROOT, capture_output=True,
+                          text=True)
+    status = "PASS" if proc.returncode == 0 else "FAIL"
+    print(f"{status} {name}")
+    if verbose or status == "FAIL":
+        out = (proc.stdout + proc.stderr).strip()
+        if out:
+            print(out)
+    return status
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--verbose", action="store_true",
+                        help="show tool output even on success")
+    args = parser.parse_args(argv)
+
+    statuses = [
+        _run_external("ruff", [sys.executable, "-m", "ruff", "check",
+                               "src/repro"], args.verbose),
+        _run_external("mypy", [sys.executable, "-m", "mypy"], args.verbose),
+    ]
+
+    from repro.analysis.lint import default_root, lint_paths
+
+    findings = lint_paths([default_root()])
+    for finding in findings:
+        print(finding)
+    status = "PASS" if not findings else "FAIL"
+    print(f"{status} repro-lint ({len(findings)} finding(s))")
+    statuses.append(status)
+
+    return 1 if "FAIL" in statuses else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
