@@ -18,11 +18,20 @@ in.  This package catches those classes of bug mechanically:
   ``span(...)`` only used as a context manager, paired ``.begin``/.end``
   trace tags, no float equality on virtual-time values, no unused
   imports.
-* :mod:`repro.analysis.fixtures` — known-bad SPMD schedules that the
+* :mod:`repro.analysis.fixtures` — known-bad SPMD programs that the
   sanitizer must flag (the subsystem's own regression corpus).
+* :mod:`repro.analysis.schedverify` — a **static schedule verifier**
+  for the schedule-IR engine (:mod:`repro.sched`): send/recv matching,
+  interval bounds, deadlock freedom under the blocking rendezvous
+  lowering, and symbolic end-to-end correctness of every collective's
+  dataflow.  ``tools/run_static_checks.py`` verifies the whole shipped
+  repertoire on each run.
+* :mod:`repro.analysis.sched_fixtures` — known-broken schedules the
+  verifier must keep flagging.
 
 See ``docs/static-analysis.md`` for the state machine, the diagnostic
-catalogue and the lint rule list.
+catalogue and the lint rule list, and ``docs/schedules.md`` for the
+schedule verifier's rules.
 """
 
 from repro.analysis.sanitizer import (
@@ -31,10 +40,22 @@ from repro.analysis.sanitizer import (
     Sanitizer,
     SanitizerError,
 )
+from repro.analysis.schedverify import (
+    ScheduleDiagnostic,
+    ScheduleVerifyError,
+    assert_valid_schedule,
+    verify_repertoire,
+    verify_schedule,
+)
 
 __all__ = [
     "ByteState",
     "Diagnostic",
     "Sanitizer",
     "SanitizerError",
+    "ScheduleDiagnostic",
+    "ScheduleVerifyError",
+    "assert_valid_schedule",
+    "verify_repertoire",
+    "verify_schedule",
 ]

@@ -1,0 +1,144 @@
+"""Known-broken schedules the verifier must keep flagging.
+
+Mirrors :mod:`repro.analysis.fixtures` (the sanitizer's bug corpus):
+each fixture takes a *correct* builder output and breaks it in one
+specific, realistic way — the kind of mistake a hand-edited or
+mis-generated schedule would contain.  ``broken_schedules()`` returns
+``name -> (schedule, expected_rule)``; the static-checks gate and
+``tests/analysis/test_schedverify.py`` assert every fixture still
+trips its rule while the shipped repertoire stays clean.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Dict, Tuple
+
+from repro.core.blocks import standard_partition
+from repro.sched.builders import build_schedule
+from repro.sched.ir import Exchange, Interval, Schedule
+
+FIXTURE_P = 4
+FIXTURE_N = 8
+
+
+def _base(kind: str, name: str) -> Schedule:
+    part = standard_partition(FIXTURE_N, FIXTURE_P)
+    return build_schedule(kind, name, FIXTURE_P, FIXTURE_N, part=part)
+
+
+def _replace_plan(sched: Schedule, rank: int, plan) -> Schedule:
+    plans = list(sched.plans)
+    plans[rank] = tuple(plan)
+    return dataclasses.replace(sched, plans=tuple(plans))
+
+
+def all_send_first_ring() -> Tuple[Schedule, str]:
+    """Every ring rank sends first: the rendezvous lowering livelocks.
+
+    The seed's odd-even ordering exists exactly to break this cycle
+    (``docs/collectives.md``); flipping every rank to ``send_first``
+    recreates the classic all-blocking-sends deadlock.
+    """
+    sched = _base("allgather", "ring")
+    plans = []
+    for plan in sched.plans:
+        plans.append(tuple(
+            dataclasses.replace(s, send_first=True)
+            if isinstance(s, Exchange) else s
+            for s in plan))
+    return dataclasses.replace(sched, plans=tuple(plans)), \
+        "blocking-deadlock"
+
+
+def dropped_last_round() -> Tuple[Schedule, str]:
+    """Rank 0 stops one ring round early: its block never circulates."""
+    sched = _base("allgather", "ring")
+    last = max(s.round for s in sched.plans[0] if s.round is not None)
+    plan = [s for s in sched.plans[0] if s.round != last]
+    return _replace_plan(sched, 0, plan), "unmatched-send"
+
+
+def truncated_send() -> Tuple[Schedule, str]:
+    """One send interval is a element short of what the receiver posts."""
+    sched = _base("allreduce", "recursive_doubling")
+    plan = list(sched.plans[1])
+    for i, step in enumerate(plan):
+        if isinstance(step, Exchange) and step.send is not None:
+            iv = step.send
+            plan[i] = dataclasses.replace(
+                step, send=Interval(iv.buf, iv.lo, iv.hi - 1))
+            break
+    return _replace_plan(sched, 1, plan), "size-mismatch"
+
+
+def double_fold() -> Tuple[Schedule, str]:
+    """An allgather-phase exchange folds instead of overwriting.
+
+    The received block is added onto the block already resident from
+    the reduce-scatter phase — every downstream rank then carries that
+    contribution twice.
+    """
+    sched = _base("allreduce", "rsag")
+    plan = list(sched.plans[0])
+    for i in range(len(plan) - 1, -1, -1):
+        step = plan[i]
+        if isinstance(step, Exchange) and not step.reduce:
+            plan[i] = dataclasses.replace(step, reduce=True)
+            break
+    return _replace_plan(sched, 0, plan), "duplicate-contribution"
+
+
+def misrouted_block() -> Tuple[Schedule, str]:
+    """A pairwise exchange ships the wrong input row to its partner."""
+    sched = _base("alltoall", "pairwise")
+    n = FIXTURE_N
+    plan = list(sched.plans[1])
+    for i, step in enumerate(plan):
+        if isinstance(step, Exchange):
+            wrong = (step.send_peer + 1) % FIXTURE_P
+            plan[i] = dataclasses.replace(
+                step, send=Interval("in", wrong * n, (wrong + 1) * n))
+            break
+    return _replace_plan(sched, 1, plan), "unexpected-contribution"
+
+
+def oob_interval() -> Tuple[Schedule, str]:
+    """A receive lands past the end of the work buffer."""
+    sched = _base("reduce", "binomial")
+    plan = list(sched.plans[0])
+    for i, step in enumerate(plan):
+        if hasattr(step, "data"):
+            size = sched.buffers["work"]
+            plan[i] = dataclasses.replace(
+                step, data=Interval("work", size, size + FIXTURE_N))
+            break
+    return _replace_plan(sched, 0, plan), "interval-oob"
+
+
+def clobbered_input() -> Tuple[Schedule, str]:
+    """A pairwise exchange receives straight into the input matrix."""
+    sched = _base("alltoall", "pairwise")
+    plan = list(sched.plans[2])
+    for i, step in enumerate(plan):
+        if isinstance(step, Exchange):
+            plan[i] = dataclasses.replace(
+                step, recv=Interval("in", step.recv.lo, step.recv.hi))
+            break
+    return _replace_plan(sched, 2, plan), "input-write"
+
+
+_FIXTURES: Tuple[Callable[[], Tuple[Schedule, str]], ...] = (
+    all_send_first_ring,
+    dropped_last_round,
+    truncated_send,
+    double_fold,
+    misrouted_block,
+    oob_interval,
+    clobbered_input,
+)
+
+
+def broken_schedules() -> Dict[str, Tuple[Schedule, str]]:
+    """name -> (broken schedule, the rule it must trip)."""
+    return {fn.__name__: fn() for fn in _FIXTURES}

@@ -76,10 +76,12 @@ class SweepPoint:
     seed: int = 20120901
     rank_order: Optional[tuple[int, ...]] = None
     config: SCCConfig = field(default_factory=SCCConfig)
+    algo: Optional[str] = None
 
     def describe(self) -> str:
+        suffix = f" algo={self.algo}" if self.algo is not None else ""
         return (f"{self.kind}/{self.stack} n={self.size} "
-                f"p={self.cores} op={self.op} seed={self.seed}")
+                f"p={self.cores} op={self.op} seed={self.seed}{suffix}")
 
 
 def _execute_point(point: SweepPoint) -> float:
@@ -90,7 +92,7 @@ def _execute_point(point: SweepPoint) -> float:
     return measure_collective(
         point.kind, point.stack, point.size, cores=point.cores,
         config=point.config, op=op_by_name(point.op),
-        rank_order=point.rank_order, seed=point.seed)
+        rank_order=point.rank_order, seed=point.seed, algo=point.algo)
 
 
 # --------------------------------------------------------------------- #
@@ -126,6 +128,7 @@ def fingerprint(point: SweepPoint) -> str:
         "seed": point.seed,
         "rank_order": (list(point.rank_order)
                        if point.rank_order is not None else None),
+        "algo": point.algo,
         "config": asdict(point.config),
         "code": code_fingerprint(),
         "numpy": np.__version__,

@@ -79,8 +79,15 @@ def default_cores() -> int:
 
 
 def program_for(kind: str, comm: Communicator, inputs: list[np.ndarray],
-                op: ReduceOp):
-    """Build the per-rank SPMD program measuring one collective call."""
+                op: ReduceOp, algo: Optional[str] = None):
+    """Build the per-rank SPMD program measuring one collective call.
+
+    ``algo`` overrides the communicator's size-based algorithm selection
+    (a native algorithm name, or ``sched:<name>`` for the schedule
+    engine — see ``docs/schedules.md``).  ``barrier`` takes no algorithm.
+    """
+    if algo is not None and kind == "barrier":
+        raise KeyError("barrier takes no algorithm override")
 
     def program(env):
         # Align all ranks, then time the operation on rank 0 like the
@@ -88,21 +95,24 @@ def program_for(kind: str, comm: Communicator, inputs: list[np.ndarray],
         yield from comm.barrier(env)
         start = env.now
         if kind == "allreduce":
-            yield from comm.allreduce(env, inputs[env.rank], op)
+            yield from comm.allreduce(env, inputs[env.rank], op,
+                                      algo=algo)
         elif kind == "reduce":
-            yield from comm.reduce(env, inputs[env.rank], op, 0)
+            yield from comm.reduce(env, inputs[env.rank], op, 0,
+                                   algo=algo)
         elif kind == "reduce_scatter":
-            yield from comm.reduce_scatter(env, inputs[env.rank], op)
+            yield from comm.reduce_scatter(env, inputs[env.rank], op,
+                                           algo=algo)
         elif kind == "allgather":
-            yield from comm.allgather(env, inputs[env.rank])
+            yield from comm.allgather(env, inputs[env.rank], algo=algo)
         elif kind == "alltoall":
             p = env.size
             matrix = np.tile(inputs[env.rank], (p, 1))
-            yield from comm.alltoall(env, matrix)
+            yield from comm.alltoall(env, matrix, algo=algo)
         elif kind == "bcast":
             buf = (inputs[0].copy() if env.rank == 0
                    else np.empty_like(inputs[0]))
-            yield from comm.bcast(env, buf, 0)
+            yield from comm.bcast(env, buf, 0, algo=algo)
         elif kind == "barrier":
             yield from comm.barrier(env)
         else:
@@ -117,14 +127,16 @@ def measure_collective(kind: str, stack: str, size: int, *,
                        config: Optional[SCCConfig] = None,
                        op: ReduceOp = SUM,
                        rank_order: Optional[Sequence[int]] = None,
-                       seed: int = 20120901) -> float:
+                       seed: int = 20120901,
+                       algo: Optional[str] = None) -> float:
     """Simulated latency (microseconds, rank-0 view) of one collective.
 
     ``size`` is the per-rank vector length in doubles (the paper's x axis).
     ``rank_order`` maps ranks to physical cores (default: identity, i.e.
     RCCE's natural core numbering); pass
     ``machine.topology.snake_ring_order()`` for the topology-aware mapping
-    ablation.
+    ablation.  ``algo`` overrides the algorithm selection (see
+    :func:`program_for`).
     """
     cores = cores if cores is not None else default_cores()
     config = config if config is not None else SCCConfig()
@@ -135,7 +147,7 @@ def measure_collective(kind: str, stack: str, size: int, *,
     comm = make_communicator(machine, stack)
     rng = np.random.default_rng(seed)
     inputs = [rng.normal(size=size) for _ in range(cores)]
-    program = program_for(kind, comm, inputs, op)
+    program = program_for(kind, comm, inputs, op, algo)
     ranks = list(rank_order) if rank_order is not None else list(range(cores))
     result = machine.run_spmd(program, ranks=ranks)
     return ps_to_us(result.values[0])
@@ -160,6 +172,7 @@ class CollectiveBench:
     config_factory: Callable[[], SCCConfig] = SCCConfig
     op: ReduceOp = SUM
     seed: int = 20120901
+    algo: Optional[str] = None
 
     def points(self) -> list["SweepPoint"]:
         """The executor plan: one point per (stack, size), stacks-major."""
@@ -168,7 +181,7 @@ class CollectiveBench:
         return [
             SweepPoint(kind=self.kind, stack=stack, size=n,
                        cores=self.cores, op=self.op.name, seed=self.seed,
-                       config=self.config_factory())
+                       config=self.config_factory(), algo=self.algo)
             for stack in self.stacks
             for n in self.sizes
         ]
@@ -188,11 +201,12 @@ def sweep(kind: str, stacks: Sequence[str],
           sizes: Optional[Sequence[int]] = None,
           cores: Optional[int] = None, *,
           jobs: Optional[int] = None,
-          cache=None) -> dict[str, list[float]]:
+          cache=None, algo: Optional[str] = None) -> dict[str, list[float]]:
     """Convenience wrapper around :class:`CollectiveBench`."""
     bench = CollectiveBench(
         kind, stacks,
         sizes=list(sizes) if sizes is not None else default_sizes(),
         cores=cores if cores is not None else default_cores(),
+        algo=algo,
     )
     return bench.run(jobs=jobs, cache=cache)

@@ -8,8 +8,11 @@ Examples::
     python -m repro fig10 --cycles 4
     python -m repro stepwise
     python -m repro sweep allreduce --stacks blocking mpb --sizes 552:577:4
+    python -m repro sweep allreduce --stacks tuned --sizes 552:577:4 \\
+        --algorithm sched:recursive_halving
     python -m repro bench allreduce --stacks blocking mpb --jobs 4
     python -m repro bench --smoke
+    python -m repro tune --cores 8 48 --sizes 16,64,256,600
     python -m repro gcmc --stack mpb --cycles 5
     python -m repro profile allreduce --stack mpb --sizes 1024
     python -m repro chaos --profile heavy --seeds 1:6 --trace-out chaos
@@ -34,10 +37,11 @@ from repro.bench.figures import (
 )
 from repro.bench.report import Series, format_series_table
 from repro.bench.runner import KINDS, default_cores, measure_collective, sweep
-from repro.core.registry import STACKS, make_communicator
+from repro.core.registry import STACKS, available_stacks, make_communicator
 from repro.hw.config import CLOCK_PRESETS, SCCConfig
 from repro.hw.machine import Machine
 from repro.obs.profile import profile_collective
+from repro.sched.builders import SCHEDULED_KINDS
 
 
 def _parse_sizes(spec: str) -> list[int]:
@@ -109,7 +113,8 @@ def _cmd_stepwise(args: argparse.Namespace) -> int:
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
     sizes = _parse_sizes(args.sizes)
-    data = sweep(args.kind, args.stacks, sizes, cores=args.cores)
+    data = sweep(args.kind, args.stacks, sizes, cores=args.cores,
+                 algo=args.algorithm)
     series = [Series.from_lists(stack, sizes, data[stack])
               for stack in args.stacks]
     print(format_series_table(series))
@@ -140,7 +145,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     cores = args.cores if args.cores is not None else default_cores()
     cache = (False if args.no_cache
              else ResultCache(args.cache_dir) if args.cache_dir else None)
-    points = [SweepPoint(kind=args.kind, stack=stack, size=n, cores=cores)
+    points = [SweepPoint(kind=args.kind, stack=stack, size=n, cores=cores,
+                         algo=args.algorithm)
               for stack in args.stacks for n in sizes]
     outcome = run_sweep(points, jobs=args.jobs, cache=cache)
     values = iter(outcome.latencies)
@@ -248,6 +254,32 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 1 if camp.failures() else 0
 
 
+def _cmd_tune(args: argparse.Namespace) -> int:
+    import pathlib
+
+    from repro.sched.select import (
+        DEFAULT_PS,
+        DEFAULT_SIZES,
+        build_selection_table,
+    )
+
+    kinds = tuple(args.kinds) if args.kinds else None
+    ps = tuple(args.cores) if args.cores else DEFAULT_PS
+    sizes = (tuple(_parse_sizes(args.sizes)) if args.sizes
+             else DEFAULT_SIZES)
+    table = build_selection_table(kinds, ps, sizes)
+    for kind in table.kinds():
+        counts: dict[str, int] = {}
+        for algo in table.entries[kind].values():
+            counts[algo] = counts.get(algo, 0) + 1
+        summary = ", ".join(f"{a} x{c}" for a, c in sorted(counts.items()))
+        print(f"  {kind:<15} {summary}")
+    path = table.save(pathlib.Path(args.out) if args.out else None)
+    entries = sum(len(v) for v in table.entries.values())
+    print(f"wrote {path} ({entries} entries)")
+    return 0
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     from repro.analysis.lint import main as lint_main
 
@@ -335,10 +367,14 @@ def build_parser() -> argparse.ArgumentParser:
     psweep = sub.add_parser("sweep", help="custom latency sweep")
     psweep.add_argument("kind", choices=list(KINDS))
     psweep.add_argument("--stacks", nargs="+", required=True,
-                        choices=list(STACKS))
+                        choices=list(available_stacks()))
     psweep.add_argument("--sizes", required=True,
                         help="start:stop:step or comma list")
     psweep.add_argument("--cores", type=int, default=None)
+    psweep.add_argument("--algorithm", default=None,
+                        help="override the per-size algorithm selection "
+                             "(native name like 'rsag', or "
+                             "'sched:<name>' for the schedule engine)")
     psweep.set_defaults(func=_cmd_sweep)
 
     pbench = sub.add_parser(
@@ -346,7 +382,8 @@ def build_parser() -> argparse.ArgumentParser:
         help="parallel, cached sweep engine + wall-clock baseline")
     pbench.add_argument("kind", nargs="?", choices=list(KINDS),
                         default="allreduce")
-    pbench.add_argument("--stacks", nargs="+", choices=list(STACKS),
+    pbench.add_argument("--stacks", nargs="+",
+                        choices=list(available_stacks()),
                         default=["blocking", "lightweight_balanced"])
     pbench.add_argument("--sizes", default=None,
                         help="start:stop:step or comma list "
@@ -361,6 +398,9 @@ def build_parser() -> argparse.ArgumentParser:
                         help="cache directory (default "
                              "benchmarks/results/.cache or "
                              "REPRO_BENCH_CACHE_DIR)")
+    pbench.add_argument("--algorithm", default=None,
+                        help="override the per-size algorithm selection "
+                             "(native name or 'sched:<name>')")
     pbench.add_argument("--smoke", action="store_true",
                         help="run the wall-clock smoke baseline and write "
                              "BENCH_wallclock.json")
@@ -372,7 +412,8 @@ def build_parser() -> argparse.ArgumentParser:
         "profile",
         help="per-phase wait profile + trace/metrics export")
     pprof.add_argument("kind", choices=list(KINDS))
-    pprof.add_argument("--stack", default="mpb", choices=list(STACKS))
+    pprof.add_argument("--stack", default="mpb",
+                       choices=list(available_stacks()))
     pprof.add_argument("--sizes", required=True,
                        help="start:stop:step or comma list")
     pprof.add_argument("--cores", type=int, default=None)
@@ -404,6 +445,24 @@ def build_parser() -> argparse.ArgumentParser:
                              "traced trial")
     pchaos.set_defaults(func=_cmd_chaos)
 
+    ptune = sub.add_parser(
+        "tune",
+        help="build the cost-model selection table for the tuned stack")
+    ptune.add_argument("--kinds", nargs="+",
+                       choices=list(SCHEDULED_KINDS),
+                       help="collective kinds (default: every scheduled "
+                            "kind)")
+    ptune.add_argument("--cores", nargs="+", type=int,
+                       help="rank counts to tune (default: the built-in "
+                            "grid)")
+    ptune.add_argument("--sizes", default=None,
+                       help="start:stop:step or comma list (default: the "
+                            "built-in grid)")
+    ptune.add_argument("--out", default=None,
+                       help="output path (default: "
+                            "benchmarks/results/selection_table.json)")
+    ptune.set_defaults(func=_cmd_tune)
+
     plint = sub.add_parser(
         "lint",
         help="static determinism/protocol lint over src/repro")
@@ -431,7 +490,8 @@ def build_parser() -> argparse.ArgumentParser:
     pp.set_defaults(func=_cmd_paper)
 
     pg = sub.add_parser("gcmc", help="run the GCMC application")
-    pg.add_argument("--stack", default="mpb", choices=list(STACKS))
+    pg.add_argument("--stack", default="mpb",
+                    choices=list(available_stacks()))
     pg.add_argument("--cycles", type=int, default=4)
     pg.add_argument("--particles", type=int, default=240)
     pg.set_defaults(func=_cmd_gcmc)

@@ -36,6 +36,7 @@ from repro.hw.machine import CoreEnv, Machine
 from repro.ircce.requests import NonBlockingLayer
 from repro.obs.spans import span
 from repro.rcce.api import RCCE
+from repro.sched.engine import parse_sched_algo, run_schedule
 
 
 class Communicator:
@@ -100,34 +101,64 @@ class Communicator:
             else:
                 yield from dissemination_barrier(self, env)
 
-    def bcast(self, env: CoreEnv, buf: np.ndarray,
-              root: int = 0) -> Generator:
+    def bcast(self, env: CoreEnv, buf: np.ndarray, root: int = 0,
+              algo: Optional[str] = None) -> Generator:
         """Broadcast ``buf`` from ``root``; every rank's ``buf`` is filled
-        in place and returned."""
+        in place and returned.
+
+        ``algo`` overrides the size-based selection: ``binomial``,
+        ``scatter_allgather``, or any ``sched:<builder>`` label (see
+        :mod:`repro.sched`).
+        """
         with span(env, "bcast", buf.size):
             yield from self._enter(env)
             if env.size == 1:
                 return buf
-            if self._is_long(buf):
+            sched_name = parse_sched_algo(algo)
+            if sched_name is not None:
+                result = yield from run_schedule(self, env, "bcast",
+                                                 sched_name, buf, root=root)
+                return result
+            if algo is None:
+                algo = ("scatter_allgather" if self._is_long(buf)
+                        else "binomial")
+            if algo == "scatter_allgather":
                 yield from _bcast.scatter_allgather_bcast(self, env, buf,
                                                           root)
-            else:
+            elif algo == "binomial":
                 yield from _bcast.binomial_bcast(self, env, buf, root)
+            else:
+                raise KeyError(f"unknown bcast algorithm {algo!r}")
             return buf
 
     def reduce(self, env: CoreEnv, sendbuf: np.ndarray, op: ReduceOp = SUM,
-               root: int = 0) -> Generator:
-        """Reduce to ``root``; returns the result there, None elsewhere."""
+               root: int = 0, algo: Optional[str] = None) -> Generator:
+        """Reduce to ``root``; returns the result there, None elsewhere.
+
+        ``algo`` overrides the size-based selection: ``binomial``,
+        ``rsg`` (ring ReduceScatter + binomial gather), or any
+        ``sched:<builder>`` label.
+        """
         with span(env, "reduce", sendbuf.size):
             yield from self._enter(env)
             if env.size == 1:
                 return sendbuf.copy()
-            if self._is_long(sendbuf):
+            sched_name = parse_sched_algo(algo)
+            if sched_name is not None:
+                result = yield from run_schedule(
+                    self, env, "reduce", sched_name, sendbuf, op=op,
+                    root=root)
+                return result
+            if algo is None:
+                algo = "rsg" if self._is_long(sendbuf) else "binomial"
+            if algo == "rsg":
                 result = yield from _reduce.reduce_scatter_gather_reduce(
                     self, env, sendbuf, op, root)
-            else:
+            elif algo == "binomial":
                 result = yield from _reduce.binomial_reduce(
                     self, env, sendbuf, op, root)
+            else:
+                raise KeyError(f"unknown reduce algorithm {algo!r}")
             return result
 
     def allreduce(self, env: CoreEnv, sendbuf: np.ndarray,
@@ -137,12 +168,18 @@ class Communicator:
         ``algo`` overrides the stack's size-based selection; one of
         ``rsag`` (ring ReduceScatter+Allgather), ``reduce_bcast``
         (binomial trees), ``recursive_doubling``, ``recursive_halving``
-        (Rabenseifner) or ``mpb`` (the MPB-direct algorithm).
+        (Rabenseifner), ``mpb`` (the MPB-direct algorithm), or any
+        ``sched:<builder>`` label executed by the schedule engine.
         """
         with span(env, "allreduce", sendbuf.size):
             yield from self._enter(env)
             if env.size == 1:
                 return sendbuf.copy()
+            sched_name = parse_sched_algo(algo)
+            if sched_name is not None:
+                result = yield from run_schedule(
+                    self, env, "allreduce", sched_name, sendbuf, op=op)
+                return result
             if algo is None:
                 if self.use_mpb_allreduce and self._is_long(sendbuf):
                     algo = "mpb"
@@ -190,12 +227,23 @@ class Communicator:
             return result
 
     def scan(self, env: CoreEnv, sendbuf: np.ndarray,
-             op: ReduceOp = SUM) -> Generator:
-        """Inclusive prefix reduction: rank r returns fold(ranks 0..r)."""
+             op: ReduceOp = SUM, algo: Optional[str] = None) -> Generator:
+        """Inclusive prefix reduction: rank r returns fold(ranks 0..r).
+
+        ``algo``: ``recursive_doubling`` (default) or a
+        ``sched:<builder>`` label.
+        """
         with span(env, "scan", sendbuf.size):
             yield from self._enter(env)
             if env.size == 1:
                 return sendbuf.copy()
+            sched_name = parse_sched_algo(algo)
+            if sched_name is not None:
+                result = yield from run_schedule(
+                    self, env, "scan", sched_name, sendbuf, op=op)
+                return result
+            if algo not in (None, "recursive_doubling"):
+                raise KeyError(f"unknown scan algorithm {algo!r}")
             result = yield from _scan.recursive_doubling_scan(self, env,
                                                               sendbuf, op)
             return result
@@ -212,11 +260,24 @@ class Communicator:
             return result
 
     def reduce_scatter(self, env: CoreEnv, sendbuf: np.ndarray,
-                       op: ReduceOp = SUM) -> Generator:
+                       op: ReduceOp = SUM,
+                       algo: Optional[str] = None) -> Generator:
         """Ring ReduceScatter; returns ``(my_block, partition)`` where
-        ``my_block`` is the reduced block ``env.rank``."""
+        ``my_block`` is the reduced block ``env.rank``.
+
+        ``algo``: ``ring`` (default) or a ``sched:<builder>`` label.
+        """
         with span(env, "reduce_scatter", sendbuf.size):
             yield from self._enter(env)
+            sched_name = parse_sched_algo(algo)
+            if sched_name is not None:
+                result = yield from run_schedule(
+                    self, env, "reduce_scatter", sched_name, sendbuf,
+                    op=op)
+                return result
+            if algo not in (None, "ring"):
+                raise KeyError(
+                    f"unknown reduce_scatter algorithm {algo!r}")
             result = yield from ring_reduce_scatter(self, env, sendbuf, op)
             return result
 
@@ -228,6 +289,11 @@ class Communicator:
         """
         with span(env, "allgather", sendbuf.size):
             yield from self._enter(env)
+            sched_name = parse_sched_algo(algo)
+            if sched_name is not None:
+                result = yield from run_schedule(
+                    self, env, "allgather", sched_name, sendbuf)
+                return result
             if algo in (None, "ring"):
                 result = yield from ring_allgather(self, env, sendbuf)
             elif algo == "bruck":
@@ -236,10 +302,21 @@ class Communicator:
                 raise KeyError(f"unknown allgather algorithm {algo!r}")
             return result
 
-    def alltoall(self, env: CoreEnv, sendbuf: np.ndarray) -> Generator:
-        """Pairwise Alltoall of the ``(p, n)`` matrix ``sendbuf``."""
+    def alltoall(self, env: CoreEnv, sendbuf: np.ndarray,
+                 algo: Optional[str] = None) -> Generator:
+        """Pairwise Alltoall of the ``(p, n)`` matrix ``sendbuf``.
+
+        ``algo``: ``pairwise`` (default).
+        """
         with span(env, "alltoall", sendbuf.size):
             yield from self._enter(env)
+            sched_name = parse_sched_algo(algo)
+            if sched_name is not None:
+                result = yield from run_schedule(
+                    self, env, "alltoall", sched_name, sendbuf)
+                return result
+            if algo not in (None, "pairwise"):
+                raise KeyError(f"unknown alltoall algorithm {algo!r}")
             result = yield from _alltoall.pairwise_alltoall(self, env,
                                                             sendbuf)
             return result

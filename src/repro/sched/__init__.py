@@ -1,0 +1,53 @@
+"""Schedule-IR collective engine.
+
+One algorithm repertoire, expressed as data (:mod:`repro.sched.ir`),
+built by pure functions (:mod:`repro.sched.builders`), executed by a
+single lowering engine on every point-to-point stack
+(:mod:`repro.sched.engine`), priced by an analytic cost model
+(:mod:`repro.sched.cost`) and auto-selected per problem size
+(:mod:`repro.sched.select`).
+"""
+
+from repro.sched.builders import (
+    BUILDERS,
+    DEFAULT_ALGOS,
+    SCHEDULED_KINDS,
+    all_schedules,
+    build_schedule,
+    builder_names,
+)
+from repro.sched.engine import parse_sched_algo, run_schedule, schedule_for
+from repro.sched.ir import (
+    COMM_STEPS,
+    CopyBlock,
+    Exchange,
+    Interval,
+    Recv,
+    ReduceRecv,
+    Rotate,
+    Schedule,
+    Send,
+    Step,
+)
+
+__all__ = [
+    "BUILDERS",
+    "COMM_STEPS",
+    "CopyBlock",
+    "DEFAULT_ALGOS",
+    "Exchange",
+    "Interval",
+    "Recv",
+    "ReduceRecv",
+    "Rotate",
+    "SCHEDULED_KINDS",
+    "Schedule",
+    "Send",
+    "Step",
+    "all_schedules",
+    "build_schedule",
+    "builder_names",
+    "parse_sched_algo",
+    "run_schedule",
+    "schedule_for",
+]

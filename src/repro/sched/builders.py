@@ -1,0 +1,621 @@
+"""Pure schedule builders: the algorithm repertoire as data.
+
+Each builder ports one seed algorithm — the inline bodies of
+``repro.core.{allreduce,reduce,bcast,allgather,reduce_scatter,alltoall,
+scan}`` and the :mod:`repro.core.alt_algorithms` repertoire — into a
+:class:`~repro.sched.ir.Schedule`, preserving the exact round structure,
+exchange intervals, arithmetic charge sites and deadlock-avoidance
+orderings (odd-even for rings, rank comparison for pairwise exchanges).
+The engine executing a builder's output is therefore bit-identical in
+virtual time to the seed generator it was ported from (the golden test
+``tests/sched/test_engine_golden.py`` asserts this for every kind x
+stack at p in {2, 47, 48}).
+
+Builders are pure functions of ``(p, n, partition, root)``; schedules
+are cached per argument tuple (they are immutable and rank-complete, so
+one instance serves a whole simulation).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Callable, Iterable, Optional
+
+from repro.core.blocks import Partition
+from repro.sched.ir import (
+    CopyBlock,
+    Exchange,
+    Interval,
+    Recv,
+    ReduceRecv,
+    Rotate,
+    Schedule,
+    Send,
+    Step,
+)
+
+
+def _largest_pow2_below(p: int) -> int:
+    pow2 = 1
+    while pow2 * 2 <= p:
+        pow2 *= 2
+    return pow2
+
+
+def _block_iv(buf: str, part: Partition, lo_block: int,
+              hi_block: Optional[int] = None) -> Interval:
+    """Interval covering blocks ``[lo_block, hi_block]`` (inclusive)."""
+    hi_block = lo_block if hi_block is None else hi_block
+    lo = part.offset(lo_block)
+    hi = part.offset(hi_block) + part.size(hi_block)
+    return Interval(buf, lo, hi)
+
+
+def _ring_send_first(me: int) -> bool:
+    """RCCE_comm's odd-even rule (``exchange.ring_send_first``)."""
+    return me % 2 == 0
+
+
+def _pair_send_first(me: int, partner: int) -> bool:
+    """Rank-comparison rule (``exchange.pairwise_send_first``)."""
+    return me < partner
+
+
+def _init_copy(me: int, n: int, work_lo: int = 0) -> CopyBlock:
+    """The free ``acc = sendbuf.copy()`` staging assignment."""
+    return CopyBlock(Interval("in", 0, n),
+                     Interval("work", work_lo, work_lo + n))
+
+
+# --------------------------------------------------------------------- #
+# Ring phases (reduce_scatter.py / allgather.py)
+# --------------------------------------------------------------------- #
+def _ring_reduce_scatter_steps(me: int, p: int, part: Partition,
+                               shift: int = 0) -> list[Step]:
+    """Port of ``ring_reduce_scatter``'s round loop over buffer ``work``."""
+    steps: list[Step] = []
+    right, left = (me + 1) % p, (me - 1) % p
+    vme = (me - shift) % p
+    send_first = _ring_send_first(me)
+    for r in range(p - 1):
+        send_block = (vme - 1 - r) % p
+        recv_block = (vme - 2 - r) % p
+        steps.append(Exchange(
+            send_peer=right, send=_block_iv("work", part, send_block),
+            recv_peer=left, recv=_block_iv("work", part, recv_block),
+            send_first=send_first, reduce=True, round=r))
+    return steps
+
+
+def _ring_allgather_blocks_steps(me: int, p: int, part: Partition,
+                                 shift: int = 0,
+                                 round_base: int = 0) -> list[Step]:
+    """Port of ``ring_allgather_blocks``'s round loop over ``work``."""
+    steps: list[Step] = []
+    right, left = (me + 1) % p, (me - 1) % p
+    vme = (me - shift) % p
+    send_first = _ring_send_first(me)
+    for r in range(p - 1):
+        send_block = (vme - r) % p
+        recv_block = (vme - 1 - r) % p
+        steps.append(Exchange(
+            send_peer=right, send=_block_iv("work", part, send_block),
+            recv_peer=left, recv=_block_iv("work", part, recv_block),
+            send_first=send_first, round=round_base + r))
+    return steps
+
+
+# --------------------------------------------------------------------- #
+# Binomial-tree phases (reduce.py / bcast.py)
+# --------------------------------------------------------------------- #
+def _binomial_reduce_steps(me: int, p: int, root: int,
+                           data: Interval) -> list[Step]:
+    """Port of ``binomial_reduce`` (whole-vector tree to ``root``)."""
+    steps: list[Step] = []
+    vrank = (me - root) % p
+    mask = 1
+    while mask < p:
+        if vrank & mask:
+            steps.append(Send((vrank - mask + root) % p, data))
+            return steps
+        src_v = vrank | mask
+        if src_v < p:
+            steps.append(ReduceRecv((src_v + root) % p, data))
+        mask <<= 1
+    return steps
+
+
+def _binomial_bcast_steps(me: int, p: int, root: int,
+                          data: Interval) -> list[Step]:
+    """Port of ``binomial_bcast`` (whole-vector tree from ``root``)."""
+    steps: list[Step] = []
+    vrank = (me - root) % p
+    mask = 1
+    while mask < p:
+        if vrank & mask:
+            steps.append(Recv((vrank - mask + root) % p, data))
+            break
+        mask <<= 1
+    mask >>= 1
+    while mask > 0:
+        if vrank + mask < p:
+            steps.append(Send((vrank + mask + root) % p, data))
+        mask >>= 1
+    return steps
+
+
+def _binomial_scatter_steps(me: int, p: int, root: int,
+                            part: Partition) -> list[Step]:
+    """Port of ``binomial_scatter_ranges`` (contiguous vrank subtrees)."""
+    steps: list[Step] = []
+    vrank = (me - root) % p
+    mask = 1
+    extent = p
+    while mask < p:
+        if vrank & mask:
+            src = (vrank - mask + root) % p
+            extent = min(mask, p - vrank)
+            steps.append(Recv(
+                src, _block_iv("work", part, vrank, vrank + extent - 1)))
+            break
+        mask <<= 1
+    mask >>= 1
+    while mask > 0:
+        if mask < extent:
+            dst_v = vrank + mask
+            dst_extent = extent - mask
+            steps.append(Send(
+                (dst_v + root) % p,
+                _block_iv("work", part, dst_v, dst_v + dst_extent - 1)))
+            extent = mask
+        mask >>= 1
+    return steps
+
+
+def _binomial_gather_steps(me: int, p: int, root: int,
+                           part: Partition) -> list[Step]:
+    """Port of ``binomial_gather_blocks`` (subtree ranges to ``root``)."""
+    steps: list[Step] = []
+    vrank = (me - root) % p
+    extent = 1
+    mask = 1
+    while mask < p:
+        if vrank & mask == 0:
+            src_v = vrank + mask
+            if src_v < p:
+                src_extent = min(mask, p - src_v)
+                steps.append(Recv(
+                    (src_v + root) % p,
+                    _block_iv("work", part, src_v, src_v + src_extent - 1)))
+                extent += src_extent
+        else:
+            steps.append(Send(
+                (vrank - mask + root) % p,
+                _block_iv("work", part, vrank, vrank + extent - 1)))
+            return steps
+        mask <<= 1
+    return steps
+
+
+# --------------------------------------------------------------------- #
+# Allreduce builders
+# --------------------------------------------------------------------- #
+def build_rsag_allreduce(p: int, n: int, part: Partition,
+                         root: int) -> Schedule:
+    """Ring ReduceScatter + ring Allgather (``rsag_allreduce``)."""
+    plans = []
+    for me in range(p):
+        steps: list[Step] = [_init_copy(me, n)]
+        if p > 1:
+            steps += _ring_reduce_scatter_steps(me, p, part)
+            steps += _ring_allgather_blocks_steps(me, p, part)
+        plans.append(tuple(steps))
+    return Schedule("allreduce", "rsag", p, n, {"in": n, "work": n},
+                    tuple(plans), {"part_sizes": part.sizes, "root": 0})
+
+
+def build_reduce_bcast_allreduce(p: int, n: int, part: Partition,
+                                 root: int) -> Schedule:
+    """Binomial Reduce to 0 + binomial Broadcast (``reduce_bcast``)."""
+    whole = Interval("work", 0, n)
+    plans = []
+    for me in range(p):
+        steps: list[Step] = [_init_copy(me, n)]
+        if p > 1:
+            steps += _binomial_reduce_steps(me, p, 0, whole)
+            steps += _binomial_bcast_steps(me, p, 0, whole)
+        plans.append(tuple(steps))
+    return Schedule("allreduce", "reduce_bcast", p, n,
+                    {"in": n, "work": n}, tuple(plans), {"root": 0})
+
+
+def _fold_in_steps(me: int, p: int, pow2: int,
+                   whole: Interval) -> list[Step]:
+    """Port of ``alt_algorithms._fold_in`` (excess ranks go passive)."""
+    rest = p - pow2
+    if me >= pow2:
+        return [Send(me - pow2, whole)]
+    if me < rest:
+        return [ReduceRecv(me + pow2, whole)]
+    return []
+
+
+def _fold_out_steps(me: int, p: int, pow2: int,
+                    whole: Interval) -> list[Step]:
+    """Port of ``alt_algorithms._fold_out`` (results back to passives)."""
+    rest = p - pow2
+    if me >= pow2:
+        return [Recv(me - pow2, whole)]
+    if me < rest:
+        return [Send(me + pow2, whole)]
+    return []
+
+
+def build_recursive_doubling_allreduce(p: int, n: int, part: Partition,
+                                       root: int) -> Schedule:
+    """Port of ``recursive_doubling_allreduce``."""
+    whole = Interval("work", 0, n)
+    pow2 = _largest_pow2_below(p)
+    plans = []
+    for me in range(p):
+        steps: list[Step] = [_init_copy(me, n)]
+        if p > 1:
+            steps += _fold_in_steps(me, p, pow2, whole)
+            if me < pow2:
+                mask = 1
+                while mask < pow2:
+                    partner = me ^ mask
+                    steps.append(Exchange(
+                        send_peer=partner, send=whole,
+                        recv_peer=partner, recv=whole,
+                        send_first=_pair_send_first(me, partner),
+                        reduce=True))
+                    mask <<= 1
+            steps += _fold_out_steps(me, p, pow2, whole)
+        plans.append(tuple(steps))
+    return Schedule("allreduce", "recursive_doubling", p, n,
+                    {"in": n, "work": n}, tuple(plans), {"root": 0})
+
+
+def build_recursive_halving_allreduce(p: int, n: int, part: Partition,
+                                      root: int) -> Schedule:
+    """Port of ``recursive_halving_allreduce`` (Rabenseifner)."""
+    whole = Interval("work", 0, n)
+    pow2 = _largest_pow2_below(p)
+    plans = []
+    for me in range(p):
+        steps: list[Step] = [_init_copy(me, n)]
+        if p > 1:
+            steps += _fold_in_steps(me, p, pow2, whole)
+            if me < pow2:
+                lo, hi = 0, n
+                levels: list[tuple[int, int]] = []
+                mask = pow2 >> 1
+                while mask >= 1:
+                    partner = me ^ mask
+                    levels.append((lo, hi))
+                    mid = lo + (hi - lo) // 2
+                    if me & mask:
+                        keep, give = (mid, hi), (lo, mid)
+                    else:
+                        keep, give = (lo, mid), (mid, hi)
+                    steps.append(Exchange(
+                        send_peer=partner,
+                        send=Interval("work", give[0], give[1]),
+                        recv_peer=partner,
+                        recv=Interval("work", keep[0], keep[1]),
+                        send_first=_pair_send_first(me, partner),
+                        reduce=True))
+                    lo, hi = keep
+                    mask >>= 1
+                mask = 1
+                for elo, ehi in reversed(levels):
+                    partner = me ^ mask
+                    mid = elo + (ehi - elo) // 2
+                    if (lo, hi) == (elo, mid):
+                        plo, phi = mid, ehi
+                    else:
+                        plo, phi = elo, mid
+                    steps.append(Exchange(
+                        send_peer=partner, send=Interval("work", lo, hi),
+                        recv_peer=partner, recv=Interval("work", plo, phi),
+                        send_first=_pair_send_first(me, partner)))
+                    lo, hi = elo, ehi
+                    mask <<= 1
+            steps += _fold_out_steps(me, p, pow2, whole)
+        plans.append(tuple(steps))
+    return Schedule("allreduce", "recursive_halving", p, n,
+                    {"in": n, "work": n}, tuple(plans), {"root": 0})
+
+
+# --------------------------------------------------------------------- #
+# Reduce builders
+# --------------------------------------------------------------------- #
+def build_binomial_reduce(p: int, n: int, part: Partition,
+                          root: int) -> Schedule:
+    whole = Interval("work", 0, n)
+    plans = []
+    for me in range(p):
+        steps: list[Step] = [_init_copy(me, n)]
+        if p > 1:
+            steps += _binomial_reduce_steps(me, p, root, whole)
+        plans.append(tuple(steps))
+    return Schedule("reduce", "binomial", p, n, {"in": n, "work": n},
+                    tuple(plans), {"root": root})
+
+
+def build_rsg_reduce(p: int, n: int, part: Partition,
+                     root: int) -> Schedule:
+    """Ring ReduceScatter (root-relative vranks) + binomial gather
+    (``reduce_scatter_gather_reduce``)."""
+    plans = []
+    for me in range(p):
+        steps: list[Step] = [_init_copy(me, n)]
+        if p > 1:
+            steps += _ring_reduce_scatter_steps(me, p, part, shift=root)
+            steps += _binomial_gather_steps(me, p, root, part)
+        plans.append(tuple(steps))
+    return Schedule("reduce", "rsg", p, n, {"in": n, "work": n},
+                    tuple(plans),
+                    {"part_sizes": part.sizes, "root": root})
+
+
+# --------------------------------------------------------------------- #
+# Broadcast builders
+# --------------------------------------------------------------------- #
+def build_binomial_bcast(p: int, n: int, part: Partition,
+                         root: int) -> Schedule:
+    whole = Interval("work", 0, n)
+    plans = []
+    for me in range(p):
+        steps: list[Step] = []
+        if me == root:
+            steps.append(_init_copy(me, n))
+        if p > 1:
+            steps += _binomial_bcast_steps(me, p, root, whole)
+        plans.append(tuple(steps))
+    return Schedule("bcast", "binomial", p, n, {"in": n, "work": n},
+                    tuple(plans), {"root": root})
+
+
+def build_scatter_allgather_bcast(p: int, n: int, part: Partition,
+                                  root: int) -> Schedule:
+    """Binomial scatter of blocks + ring allgather
+    (``scatter_allgather_bcast``)."""
+    plans = []
+    for me in range(p):
+        steps: list[Step] = []
+        if me == root:
+            steps.append(_init_copy(me, n))
+        if p > 1:
+            steps += _binomial_scatter_steps(me, p, root, part)
+            steps += _ring_allgather_blocks_steps(me, p, part, shift=root)
+        plans.append(tuple(steps))
+    return Schedule("bcast", "scatter_allgather", p, n,
+                    {"in": n, "work": n}, tuple(plans),
+                    {"part_sizes": part.sizes, "root": root})
+
+
+# --------------------------------------------------------------------- #
+# Allgather builders
+# --------------------------------------------------------------------- #
+def build_ring_allgather(p: int, n: int, part: Partition,
+                         root: int) -> Schedule:
+    """Port of ``ring_allgather`` (row exchange over the ``(p, n)``
+    result, flattened)."""
+
+    def row(i: int) -> Interval:
+        return Interval("work", i * n, (i + 1) * n)
+
+    plans = []
+    for me in range(p):
+        steps: list[Step] = [_init_copy(me, n, work_lo=me * n)]
+        right, left = (me + 1) % p, (me - 1) % p
+        send_first = _ring_send_first(me)
+        for r in range(p - 1):
+            steps.append(Exchange(
+                send_peer=right, send=row((me - r) % p),
+                recv_peer=left, recv=row((me - 1 - r) % p),
+                send_first=send_first, round=r))
+        plans.append(tuple(steps))
+    return Schedule("allgather", "ring", p, n,
+                    {"in": n, "work": p * n}, tuple(plans),
+                    {"rows": p, "root": 0})
+
+
+def build_bruck_allgather(p: int, n: int, part: Partition,
+                          root: int) -> Schedule:
+    """Port of ``bruck_allgather`` (local-index rows + final rotation)."""
+    plans = []
+    for me in range(p):
+        steps: list[Step] = [_init_copy(me, n)]
+        have, distance = 1, 1
+        while have < p:
+            count = min(have, p - have)
+            dst = (me - distance) % p
+            src = (me + distance) % p
+            steps.append(Exchange(
+                send_peer=dst, send=Interval("work", 0, count * n),
+                recv_peer=src,
+                recv=Interval("work", have * n, (have + count) * n),
+                send_first=_pair_send_first(me, dst)))
+            have += count
+            distance <<= 1
+        steps.append(Rotate("work", rows=p, shift=me))
+        plans.append(tuple(steps))
+    return Schedule("allgather", "bruck", p, n,
+                    {"in": n, "work": p * n}, tuple(plans),
+                    {"rows": p, "root": 0})
+
+
+# --------------------------------------------------------------------- #
+# ReduceScatter / Alltoall / Scan builders
+# --------------------------------------------------------------------- #
+def build_ring_reduce_scatter(p: int, n: int, part: Partition,
+                              root: int) -> Schedule:
+    plans = []
+    for me in range(p):
+        steps: list[Step] = [_init_copy(me, n)]
+        if p > 1:
+            steps += _ring_reduce_scatter_steps(me, p, part)
+        plans.append(tuple(steps))
+    return Schedule("reduce_scatter", "ring", p, n,
+                    {"in": n, "work": n}, tuple(plans),
+                    {"part_sizes": part.sizes, "root": 0})
+
+
+def build_pairwise_alltoall(p: int, n: int, part: Partition,
+                            root: int) -> Schedule:
+    """Port of ``pairwise_alltoall`` (round ``r`` pairs ``me`` with
+    ``(r - me) % p``; ``n`` is the per-destination row length)."""
+
+    def row(buf: str, i: int) -> Interval:
+        return Interval(buf, i * n, (i + 1) * n)
+
+    plans = []
+    for me in range(p):
+        steps: list[Step] = []
+        for r in range(p):
+            partner = (r - me) % p
+            if partner == me:
+                steps.append(CopyBlock(row("in", me), row("work", me),
+                                       charged=True, round=r))
+            else:
+                steps.append(Exchange(
+                    send_peer=partner, send=row("in", partner),
+                    recv_peer=partner, recv=row("work", partner),
+                    send_first=_pair_send_first(me, partner), round=r))
+        plans.append(tuple(steps))
+    return Schedule("alltoall", "pairwise", p, n,
+                    {"in": p * n, "work": p * n}, tuple(plans),
+                    {"rows": p, "root": 0})
+
+
+def build_recursive_doubling_scan(p: int, n: int, part: Partition,
+                                  root: int) -> Schedule:
+    """Port of ``recursive_doubling_scan`` (Hillis-Steele over ranks:
+    all edges point upward, fold order ``op(received, local)``)."""
+    whole = Interval("work", 0, n)
+    plans = []
+    for me in range(p):
+        steps: list[Step] = [_init_copy(me, n)]
+        stride = 1
+        while stride < p:
+            send_peer = me + stride if me + stride < p else None
+            recv_peer = me - stride if me - stride >= 0 else None
+            if send_peer is not None or recv_peer is not None:
+                steps.append(Exchange(
+                    send_peer=send_peer,
+                    send=whole if send_peer is not None else None,
+                    recv_peer=recv_peer,
+                    recv=whole if recv_peer is not None else None,
+                    send_first=True,
+                    reduce=recv_peer is not None,
+                    reversed_fold=True))
+            stride <<= 1
+        plans.append(tuple(steps))
+    return Schedule("scan", "recursive_doubling", p, n,
+                    {"in": n, "work": n}, tuple(plans), {"root": 0})
+
+
+# --------------------------------------------------------------------- #
+# Registry
+# --------------------------------------------------------------------- #
+Builder = Callable[[int, int, Partition, int], Schedule]
+
+#: (kind -> name -> builder).  Names double as ``algo="sched:<name>"``
+#: labels on the :class:`~repro.core.comm.Communicator` methods.
+BUILDERS: dict[str, dict[str, Builder]] = {
+    "allreduce": {
+        "rsag": build_rsag_allreduce,
+        "reduce_bcast": build_reduce_bcast_allreduce,
+        "recursive_doubling": build_recursive_doubling_allreduce,
+        "recursive_halving": build_recursive_halving_allreduce,
+    },
+    "reduce": {
+        "binomial": build_binomial_reduce,
+        "rsg": build_rsg_reduce,
+    },
+    "bcast": {
+        "binomial": build_binomial_bcast,
+        "scatter_allgather": build_scatter_allgather_bcast,
+    },
+    "allgather": {
+        "ring": build_ring_allgather,
+        "bruck": build_bruck_allgather,
+    },
+    "reduce_scatter": {
+        "ring": build_ring_reduce_scatter,
+    },
+    "alltoall": {
+        "pairwise": build_pairwise_alltoall,
+    },
+    "scan": {
+        "recursive_doubling": build_recursive_doubling_scan,
+    },
+}
+
+#: The seed's size-based defaults: (short-vector algo, long-vector algo).
+DEFAULT_ALGOS: dict[str, tuple[str, str]] = {
+    "allreduce": ("reduce_bcast", "rsag"),
+    "reduce": ("binomial", "rsg"),
+    "bcast": ("binomial", "scatter_allgather"),
+    "allgather": ("ring", "ring"),
+    "reduce_scatter": ("ring", "ring"),
+    "alltoall": ("pairwise", "pairwise"),
+    "scan": ("recursive_doubling", "recursive_doubling"),
+}
+
+#: Kinds with at least one schedule builder.
+SCHEDULED_KINDS: tuple[str, ...] = tuple(BUILDERS)
+
+
+def builder_names(kind: str) -> tuple[str, ...]:
+    """Builder names for ``kind``, sorted (KeyError on unknown kind)."""
+    try:
+        return tuple(sorted(BUILDERS[kind]))
+    except KeyError:
+        raise KeyError(
+            f"no schedule builders for collective kind {kind!r}; "
+            f"known: {sorted(BUILDERS)}") from None
+
+
+@lru_cache(maxsize=1024)
+def _build_cached(kind: str, name: str, p: int, n: int,
+                  part_sizes: Optional[tuple[int, ...]],
+                  root: int) -> Schedule:
+    builder = BUILDERS[kind][name]
+    part = (Partition(n, part_sizes) if part_sizes is not None
+            else Partition(n, (n,)))
+    return builder(p, n, part, root)
+
+
+def build_schedule(kind: str, name: str, p: int, n: int, *,
+                   part: Optional[Partition] = None,
+                   root: int = 0) -> Schedule:
+    """Build (or fetch from cache) one schedule instance.
+
+    ``part`` is the block partition used by the ring/scatter phases
+    (obtained from the communicator so the stack's partitioner — the
+    paper's optimization C — is respected); whole-vector algorithms
+    ignore it.  ``root`` matters for ``reduce`` and ``bcast`` only.
+    """
+    if kind not in BUILDERS:
+        raise KeyError(
+            f"no schedule builders for collective kind {kind!r}; "
+            f"known: {sorted(BUILDERS)}")
+    if name not in BUILDERS[kind]:
+        raise KeyError(
+            f"unknown {kind} schedule {name!r}; "
+            f"known: {builder_names(kind)}")
+    sizes = part.sizes if part is not None else None
+    return _build_cached(kind, name, p, n, sizes, root)
+
+
+def all_schedules(p: int, n: int, *,
+                  part: Optional[Partition] = None,
+                  root: int = 0) -> Iterable[Schedule]:
+    """Every builder's schedule at one ``(p, n)`` — the verifier's sweep."""
+    for kind in BUILDERS:
+        for name in builder_names(kind):
+            yield build_schedule(kind, name, p, n, part=part, root=root)

@@ -1,0 +1,128 @@
+"""Analytic schedule pricing for the algorithm selector.
+
+The simulator gives exact virtual times, but pricing every candidate
+schedule through a full SPMD run per ``(kind, p, n)`` point would make
+tuning as expensive as the benchmark sweeps themselves.  Instead the
+selector uses a BSP-style estimate over the builder's round tags:
+
+* every message is priced through the *real* memoized
+  :class:`~repro.hw.timing.LatencyModel` (MPB write + flag handshake +
+  MPB read, at the actual core-to-core distances of the rank placement);
+* within a round each rank's step costs add up; the round costs the
+  **maximum** over ranks (the tightly coupled algorithms synchronize
+  every round, so the slowest rank paces it);
+* rounds add up along the schedule, plus the untagged prologue steps
+  (operand staging) and epilogue steps (Bruck's rotation).
+
+This deliberately ignores cross-round pipelining skew — it is a *ranking
+heuristic*, not the simulator, and ``tests/sched/test_select.py`` holds
+it only to ordering the repertoire sensibly (trees beat rings for short
+vectors, reduce-scatter pipelines beat trees for long ones), never to
+matching simulated latencies.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.hw.timing import LatencyModel
+from repro.sched.ir import (
+    CopyBlock,
+    Exchange,
+    Recv,
+    ReduceRecv,
+    Rotate,
+    Schedule,
+    Send,
+)
+
+#: The paper's element type: IEEE doubles.
+ELEMENT_BYTES = 8
+
+
+def message_cost(model: LatencyModel, src: int, dst: int,
+                 nels: int) -> int:
+    """Price one ``src -> dst`` vector transfer (picoseconds).
+
+    One hop through the sender's MPB: the sender stages the payload into
+    its own buffer and raises the receiver's flag; the receiver notices
+    and pulls the payload across the mesh.  Zero-length vectors still
+    pay the flag handshake — the protocol runs regardless, which is why
+    the seed's empty-block ring steps are not free.
+    """
+    nbytes = nels * ELEMENT_BYTES
+    return (model.mpb_write_bytes(src, src, nbytes)
+            + model.flag_write(src, dst)
+            + model.flag_notify(dst, src)
+            + model.mpb_read_bytes(dst, src, nbytes))
+
+
+def step_cost(model: LatencyModel, step, rank: int, *,
+              blocking: bool = False,
+              buffers: Optional[dict] = None) -> int:
+    """Price one IR step as seen by ``rank`` (picoseconds).
+
+    ``buffers`` (the schedule's name -> element-count mapping) is needed
+    only to price :class:`~repro.sched.ir.Rotate`, whose operand is a
+    whole buffer rather than an interval.
+    """
+    if isinstance(step, Send):
+        return message_cost(model, rank, step.peer, step.data.nels)
+    if isinstance(step, Recv):
+        return message_cost(model, step.peer, rank, step.data.nels)
+    if isinstance(step, ReduceRecv):
+        return (message_cost(model, step.peer, rank, step.data.nels)
+                + model.reduce_doubles(step.data.nels))
+    if isinstance(step, Exchange):
+        out = (message_cost(model, rank, step.send_peer, step.send.nels)
+               if step.send_peer is not None else 0)
+        inn = (message_cost(model, step.recv_peer, rank, step.recv.nels)
+               if step.recv_peer is not None else 0)
+        cost = out + inn if blocking else max(out, inn)
+        if step.reduce and step.recv.nels:
+            cost += model.reduce_doubles(step.recv.nels)
+        return cost
+    if isinstance(step, CopyBlock):
+        if step.charged:
+            return model.private_copy_bytes(step.src.nels * ELEMENT_BYTES)
+        return 0
+    if isinstance(step, Rotate):
+        # One private-memory pass over the whole buffer.
+        nels = buffers[step.buf] if buffers is not None else 0
+        return model.private_copy_bytes(nels * ELEMENT_BYTES)
+    raise TypeError(f"unknown schedule step {step!r}")
+
+
+def estimate_schedule_cost(sched: Schedule, model: LatencyModel, *,
+                           blocking: bool = False) -> int:
+    """BSP estimate of the schedule makespan (picoseconds).
+
+    Sums, over the ordered sequence of round tags, the maximum per-rank
+    cost of that round.  Untagged steps are grouped by their position
+    relative to the tagged rounds (prologue before, epilogue after).
+    """
+    # phase key -> rank -> accumulated cost.  Phases are ordered by
+    # first appearance on any rank; untagged prologue/epilogue steps get
+    # sentinel keys that sort before/after every real round.
+    phases: dict[object, dict[int, int]] = {}
+    order: list[object] = []
+    buffers = dict(sched.buffers)
+    for rank, plan in enumerate(sched.plans):
+        seen_round = False
+        for step in plan:
+            if step.round is not None:
+                key: object = ("round", step.round)
+                seen_round = True
+            elif not seen_round:
+                key = ("pre", None)
+            else:
+                key = ("post", None)
+            if key not in phases:
+                phases[key] = {}
+                order.append(key)
+            bucket = phases[key]
+            bucket[rank] = (bucket.get(rank, 0)
+                            + step_cost(model, step, rank,
+                                        blocking=blocking,
+                                        buffers=buffers))
+    return sum(max(phases[key].values()) for key in order)

@@ -1,0 +1,216 @@
+"""The schedule executor: lowering IR steps onto any p2p stack.
+
+One engine replaces the per-(kind, stack) generator zoo: it walks the
+calling rank's step list and lowers each step onto the communicator's
+primitives — the *same* primitives the seed algorithms used, in the same
+order, with the same scratch-buffer discipline and arithmetic charge
+sites:
+
+* :class:`~repro.sched.ir.Send`/:class:`~repro.sched.ir.Recv` lower to
+  ``comm.send``/``comm.recv`` (RCCE rendezvous on the blocking stack,
+  ``isend``/``irecv`` + ``wait`` elsewhere);
+* both-sided :class:`~repro.sched.ir.Exchange` lowers to
+  :func:`~repro.core.exchange.full_exchange`, honouring the baked-in
+  ``send_first`` on the blocking stack and issuing exactly one send and
+  one receive request elsewhere (within LWNB's single-outstanding-request
+  budget);
+* one-sided exchanges (the prefix-scan edges) issue their single
+  operation and complete it with ``wait_all``, mirroring
+  ``repro.core.scan``'s posture on both stack families;
+* reductions charge ``latency.reduce_doubles`` exactly where the seed
+  did: unconditionally for tree folds, only for non-empty blocks in the
+  ring reduce-scatter.
+
+Executing a default schedule is therefore bit-identical in virtual time
+to the seed path on every stack (``tests/sched/test_engine_golden.py``).
+Spans annotate the run with the schedule label and the builder's round
+tags; like all obs spans they are timing-free.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Generator, Optional
+
+import numpy as np
+
+from repro.core.exchange import full_exchange
+from repro.core.ops import ReduceOp, SUM
+from repro.obs.spans import span
+from repro.sched.builders import build_schedule
+from repro.sched.ir import (
+    CopyBlock,
+    Exchange,
+    Interval,
+    Recv,
+    ReduceRecv,
+    Rotate,
+    Schedule,
+    Send,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.comm import Communicator
+    from repro.hw.machine import CoreEnv
+
+#: Kinds whose builders consume the communicator's block partition.
+_PARTITIONED = {
+    ("allreduce", "rsag"), ("reduce", "rsg"),
+    ("bcast", "scatter_allgather"), ("reduce_scatter", "ring"),
+}
+
+
+def _view(buffers: dict[str, np.ndarray], iv: Interval) -> np.ndarray:
+    return buffers[iv.buf][iv.lo:iv.hi]
+
+
+def _run_steps(comm: "Communicator", env: "CoreEnv", sched: Schedule,
+               buffers: dict[str, np.ndarray], op: ReduceOp) -> Generator:
+    """Execute this rank's plan (the engine inner loop)."""
+    plan = sched.plans[env.rank]
+    with span(env, "schedule", sched.label):
+        i = 0
+        while i < len(plan):
+            rnd = plan[i].round
+            if rnd is None:
+                yield from _run_step(comm, env, plan[i], buffers, op)
+                i += 1
+            else:
+                with span(env, "round", rnd):
+                    while i < len(plan) and plan[i].round == rnd:
+                        yield from _run_step(comm, env, plan[i], buffers,
+                                             op)
+                        i += 1
+
+
+def _run_step(comm: "Communicator", env: "CoreEnv", step,
+              buffers: dict[str, np.ndarray], op: ReduceOp) -> Generator:
+    if isinstance(step, Exchange):
+        yield from _run_exchange(comm, env, step, buffers, op)
+    elif isinstance(step, Send):
+        yield from comm.send(env, _view(buffers, step.data), step.peer)
+    elif isinstance(step, Recv):
+        yield from comm.recv(env, _view(buffers, step.data), step.peer)
+    elif isinstance(step, ReduceRecv):
+        target = _view(buffers, step.data)
+        tmp = np.empty_like(target)
+        yield from comm.recv(env, tmp, step.peer)
+        # Tree folds charge unconditionally (binomial_reduce, _fold_in).
+        yield from env.consume(env.latency.reduce_doubles(target.size),
+                               "compute")
+        target[:] = op(target, tmp)
+    elif isinstance(step, CopyBlock):
+        src = _view(buffers, step.src)
+        if step.charged:
+            yield from env.consume(
+                env.latency.private_copy_bytes(src.nbytes), "copy")
+        _view(buffers, step.dst)[:] = src
+    elif isinstance(step, Rotate):
+        buf = buffers[step.buf]
+        rows = buf.reshape(step.rows, -1)
+        yield from env.consume(
+            env.latency.private_copy_bytes(buf.nbytes), "copy")
+        out = np.empty_like(rows)
+        for i in range(step.rows):
+            out[(step.shift + i) % step.rows] = rows[i]
+        rows[:] = out
+    else:  # pragma: no cover - the IR is closed
+        raise TypeError(f"unknown schedule step {step!r}")
+
+
+def _run_exchange(comm: "Communicator", env: "CoreEnv", step: Exchange,
+                  buffers: dict[str, np.ndarray],
+                  op: ReduceOp) -> Generator:
+    send_view = (_view(buffers, step.send)
+                 if step.send is not None else None)
+    recv_view = (_view(buffers, step.recv)
+                 if step.recv is not None else None)
+    if step.reduce:
+        # Receive into scratch, fold after completion (ring RS posture).
+        recv_buf = np.empty_like(recv_view)
+    else:
+        recv_buf = recv_view
+    if step.send_peer is not None and step.recv_peer is not None:
+        yield from full_exchange(comm, env, send_view, step.send_peer,
+                                 recv_buf, step.recv_peer,
+                                 step.send_first)
+    elif comm.blocking:
+        # One-sided edge (scan): the baked order, blocking calls.
+        if send_view is not None:
+            yield from comm.p2p.send(env, send_view, step.send_peer)
+        if recv_buf is not None:
+            yield from comm.p2p.recv(env, recv_buf, step.recv_peer)
+    else:
+        reqs = []
+        if send_view is not None:
+            req = yield from comm.p2p.isend(env, send_view.copy(),
+                                            step.send_peer)
+            reqs.append(req)
+        if recv_buf is not None:
+            req = yield from comm.p2p.irecv(env, recv_buf, step.recv_peer)
+            reqs.append(req)
+        if reqs:
+            yield from comm.p2p.wait_all(env, reqs)
+    if step.reduce:
+        nels = recv_view.size
+        if nels:
+            yield from env.consume(env.latency.reduce_doubles(nels),
+                                   "compute")
+            if step.reversed_fold:
+                recv_view[:] = op(recv_buf, recv_view)
+            else:
+                recv_view[:] = op(recv_view, recv_buf)
+
+
+def schedule_for(comm: "Communicator", kind: str, name: str, p: int,
+                 n: int, root: int = 0) -> Schedule:
+    """Resolve the schedule instance for one collective call."""
+    part = (comm.partition(n, p)
+            if (kind, name) in _PARTITIONED else None)
+    return build_schedule(kind, name, p, n, part=part, root=root)
+
+
+def run_schedule(comm: "Communicator", env: "CoreEnv", kind: str,
+                 name: str, sendbuf: np.ndarray, *, op: ReduceOp = SUM,
+                 root: int = 0) -> Generator:
+    """Execute schedule ``kind:name`` for this rank's collective call.
+
+    Buffer conventions: ``"in"`` aliases the caller's (flattened)
+    operand and is only read; ``"work"`` is a fresh result buffer.  The
+    per-kind result extraction matches the native methods (bcast fills
+    the caller's buffer in place; reduce_scatter returns
+    ``(block, partition)``; allgather/alltoall return ``(p, n)``).
+    """
+    p, me = env.size, env.rank
+    if kind == "alltoall":
+        if sendbuf.shape[0] != p:
+            raise ValueError(
+                f"alltoall sendbuf must have {p} rows, "
+                f"got {sendbuf.shape[0]}")
+        n = sendbuf.size // p
+    else:
+        n = sendbuf.size
+    sched = schedule_for(comm, kind, name, p, n, root)
+    flat_in = sendbuf.reshape(-1)
+    work = np.empty(sched.buffers["work"], dtype=sendbuf.dtype)
+    buffers = {"in": flat_in, "work": work}
+    yield from _run_steps(comm, env, sched, buffers, op)
+    if kind in ("allreduce", "scan"):
+        return work
+    if kind == "reduce":
+        return work if me == root else None
+    if kind == "bcast":
+        flat_in[:] = work
+        return sendbuf
+    if kind in ("allgather", "alltoall"):
+        return work.reshape(p, n)
+    if kind == "reduce_scatter":
+        part = comm.partition(n, p)
+        return work[part.slice_of(me)].copy(), part
+    raise KeyError(f"unknown scheduled collective kind {kind!r}")
+
+
+def parse_sched_algo(algo: Optional[str]) -> Optional[str]:
+    """``"sched:<name>"`` -> ``<name>``; anything else -> None."""
+    if algo is not None and algo.startswith("sched:"):
+        return algo[len("sched:"):]
+    return None

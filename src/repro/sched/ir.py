@@ -1,0 +1,187 @@
+"""The schedule IR: a collective algorithm as per-rank lists of typed steps.
+
+Following SCCL's framing (PAPERS.md), an algorithm is *data*: for every
+rank, an ordered tuple of steps over intervals of named logical buffers.
+Builders (:mod:`repro.sched.builders`) produce schedules; one executor
+(:mod:`repro.sched.engine`) lowers them onto any point-to-point stack;
+the verifier (:mod:`repro.analysis.schedverify`) checks them statically;
+the cost model (:mod:`repro.sched.cost`) prices them for the selector.
+
+Conventions every schedule obeys (the verifier enforces them):
+
+* Buffer ``"in"`` holds the rank's input operand, flattened, and is
+  **read-only**; buffer ``"work"`` receives the result.  The per-kind
+  result extraction is the engine's job (`engine.RESULT_SPECS`).
+* Intervals are half-open ``[lo, hi)`` element ranges of a flat buffer.
+* Steps on one rank execute in order; cross-rank matching of sends and
+  receives is FIFO per ordered ``(src, dst)`` pair.
+* ``send_first`` orderings are *baked in* by the builder (odd-even for
+  rings, rank comparison for pairwise exchanges) so the blocking RCCE
+  lowering is deadlock-free by construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Optional, Union
+
+
+@dataclass(frozen=True)
+class Interval:
+    """A contiguous element range ``[lo, hi)`` of logical buffer ``buf``."""
+
+    buf: str
+    lo: int
+    hi: int
+
+    def __post_init__(self) -> None:
+        if self.lo < 0 or self.hi < self.lo:
+            raise ValueError(f"bad interval [{self.lo}, {self.hi})")
+
+    @property
+    def nels(self) -> int:
+        return self.hi - self.lo
+
+    def __str__(self) -> str:
+        return f"{self.buf}[{self.lo}:{self.hi}]"
+
+
+@dataclass(frozen=True)
+class Send:
+    """Blocking-posture send of ``data`` to rank ``peer``.
+
+    Lowered as ``comm.send``: an RCCE rendezvous send on the blocking
+    stack, ``isend`` + ``wait`` on the non-blocking ones.
+    """
+
+    peer: int
+    data: Interval
+    round: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class Recv:
+    """Blocking-posture receive into ``data`` from rank ``peer``."""
+
+    peer: int
+    data: Interval
+    round: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class ReduceRecv:
+    """Receive a vector from ``peer`` and fold it into ``data``.
+
+    The binomial-tree step: receives into a scratch buffer, charges the
+    reduction arithmetic, then stores ``op(data, received)`` into
+    ``data`` (operand order as in the seed trees).
+    """
+
+    peer: int
+    data: Interval
+    round: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class Exchange:
+    """A (possibly one-sided) full-duplex exchange — the ring/pairwise step.
+
+    Both-sided: lowered as :func:`repro.core.exchange.full_exchange`
+    (ordered send/recv on the blocking stack per ``send_first``; paired
+    ``isend`` + ``irecv`` + one ``wait_all`` on the non-blocking ones).
+    One-sided (scan edges): the single operation, completed with
+    ``wait_all`` on the non-blocking stacks.
+
+    With ``reduce`` set the received vector is folded into ``recv``
+    (charging the arithmetic only for non-empty blocks, like the ring
+    reduce-scatter); ``reversed_fold`` selects ``op(received, local)``
+    instead of ``op(local, received)`` — the prefix-scan convention.
+    """
+
+    send_peer: Optional[int]
+    send: Optional[Interval]
+    recv_peer: Optional[int]
+    recv: Optional[Interval]
+    send_first: bool = True
+    reduce: bool = False
+    reversed_fold: bool = False
+    round: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if (self.send_peer is None) != (self.send is None):
+            raise ValueError("send_peer and send must be set together")
+        if (self.recv_peer is None) != (self.recv is None):
+            raise ValueError("recv_peer and recv must be set together")
+        if self.send_peer is None and self.recv_peer is None:
+            raise ValueError("exchange with neither side")
+        if self.reduce and self.recv is None:
+            raise ValueError("reduce exchange needs a receive side")
+
+
+@dataclass(frozen=True)
+class CopyBlock:
+    """Local copy ``dst[:] = src``.
+
+    ``charged`` copies pay :meth:`LatencyModel.private_copy_bytes` (the
+    pairwise-alltoall self-row); uncharged ones model the free
+    bookkeeping assignments of the seed algorithms (operand staging).
+    """
+
+    src: Interval
+    dst: Interval
+    charged: bool = False
+    round: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.src.nels != self.dst.nels:
+            raise ValueError(
+                f"copy size mismatch: {self.src} -> {self.dst}")
+
+
+@dataclass(frozen=True)
+class Rotate:
+    """Bruck's final rotation: viewing ``buf`` as ``rows`` equal rows,
+    store row ``i`` at row ``(shift + i) % rows``.  Charged as one
+    private-memory copy of the whole buffer."""
+
+    buf: str
+    rows: int
+    shift: int
+    round: Optional[int] = None
+
+
+Step = Union[Send, Recv, ReduceRecv, Exchange, CopyBlock, Rotate]
+
+#: Steps that name a communication peer.
+COMM_STEPS = (Send, Recv, ReduceRecv, Exchange)
+
+
+@dataclass(frozen=True)
+class Schedule:
+    """A complete per-rank schedule for one collective instance.
+
+    ``buffers`` maps logical buffer names to flat element counts (the
+    same on every rank); ``plans[r]`` is rank ``r``'s step list.
+    ``meta`` carries whatever the result extraction and the verifier
+    need: ``root``, the partition block sizes, the allgather row count.
+    """
+
+    kind: str
+    name: str
+    p: int
+    n: int
+    buffers: Mapping[str, int]
+    plans: tuple[tuple[Step, ...], ...]
+    meta: Mapping[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if len(self.plans) != self.p:
+            raise ValueError(
+                f"schedule has {len(self.plans)} plans for p={self.p}")
+
+    @property
+    def label(self) -> str:
+        return f"{self.kind}:{self.name}"
+
+    def total_steps(self) -> int:
+        return sum(len(plan) for plan in self.plans)

@@ -1,0 +1,278 @@
+"""Cost-model-driven algorithm selection and the ``tuned`` stack.
+
+The seed communicator picks algorithms with one hard-coded byte
+threshold (RCCE_comm's 512-byte rule).  The selector replaces the rule
+with data: :func:`build_selection_table` prices every builder in the
+repertoire through :mod:`repro.sched.cost` for a grid of ``(kind, p,
+n)`` points and records the winners; the table is persisted as JSON
+under ``benchmarks/results/`` (regenerate with ``python -m repro
+tune``).
+
+:class:`TunedCommunicator` — registered as stack ``"tuned"`` — is the
+lightweight_balanced composition with one change: when the caller does
+not force an algorithm, collectives run the table's pick through the
+schedule engine (``algo="sched:<name>"``) instead of the built-in
+threshold.  Points missing from the table fall back to pricing the
+candidates on the fly against the machine's own memoized
+:class:`~repro.hw.timing.LatencyModel`, so the stack works without a
+table file (just slower on first use per point).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from dataclasses import dataclass, field
+from typing import Generator, Iterable, Optional, Sequence
+
+import numpy as np
+
+from repro.core.blocks import balanced_partition
+from repro.core.comm import Communicator
+from repro.core.ops import ReduceOp, SUM
+from repro.hw.config import SCCConfig
+from repro.hw.machine import CoreEnv, Machine
+from repro.hw.timing import LatencyModel
+from repro.hw.topology import default_topology
+from repro.sched.builders import SCHEDULED_KINDS, build_schedule, builder_names
+from repro.sched.cost import estimate_schedule_cost
+
+#: On-disk table format version.
+TABLE_SCHEMA = 1
+
+#: Default tuning grid: rank counts spanning the SCC's range (powers of
+#: two, the odd prime 47, the full 48-core chip) and vector lengths from
+#: single elements through the paper's 500..700-double band.
+DEFAULT_PS = (2, 3, 4, 8, 16, 24, 32, 47, 48)
+DEFAULT_SIZES = (1, 2, 4, 8, 16, 32, 48, 64, 96, 128, 192, 256, 384,
+                 512, 600, 700, 768, 1024)
+
+
+def default_table_path() -> pathlib.Path:
+    """``benchmarks/results/selection_table.json`` in the repo tree."""
+    repo_root = pathlib.Path(__file__).resolve().parents[3]
+    return repo_root / "benchmarks" / "results" / "selection_table.json"
+
+
+def select_algo(kind: str, p: int, n: int, model: LatencyModel, *,
+                blocking: bool = False) -> str:
+    """The cheapest builder for one ``(kind, p, n)`` point.
+
+    Ties break towards the alphabetically first name so the table is
+    deterministic across runs and machines.
+    """
+    part = balanced_partition(n, p)
+    best_name: Optional[str] = None
+    best_cost = 0
+    for name in builder_names(kind):
+        sched = build_schedule(kind, name, p, n, part=part)
+        cost = estimate_schedule_cost(sched, model, blocking=blocking)
+        if best_name is None or cost < best_cost:
+            best_name, best_cost = name, cost
+    assert best_name is not None  # every kind has at least one builder
+    return best_name
+
+
+@dataclass
+class SelectionTable:
+    """Per-``(kind, p, n)`` algorithm picks, with nearest-point lookup."""
+
+    entries: dict = field(default_factory=dict)
+    meta: dict = field(default_factory=dict)
+
+    def record(self, kind: str, p: int, n: int, algo: str) -> None:
+        self.entries.setdefault(kind, {})[(p, n)] = algo
+
+    def pick(self, kind: str, p: int, n: int) -> Optional[str]:
+        """The recorded pick, or the nearest tuned point's pick.
+
+        Nearest means: among entries for this kind, minimize first the
+        rank-count distance then the size distance (log-ish problems
+        shift with p much faster than with n).  Returns None for kinds
+        the table has never tuned.
+        """
+        points = self.entries.get(kind)
+        if not points:
+            return None
+        exact = points.get((p, n))
+        if exact is not None:
+            return exact
+        key = min(points, key=lambda pn: (abs(pn[0] - p), abs(pn[1] - n),
+                                          pn))
+        return points[key]
+
+    def kinds(self) -> tuple[str, ...]:
+        return tuple(sorted(self.entries))
+
+    # -- persistence -----------------------------------------------------
+    def to_json(self) -> str:
+        payload = {
+            "schema": TABLE_SCHEMA,
+            "meta": self.meta,
+            "entries": {
+                kind: [[p, n, algo]
+                       for (p, n), algo in sorted(points.items())]
+                for kind, points in sorted(self.entries.items())
+            },
+        }
+        return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+    @classmethod
+    def from_json(cls, text: str) -> "SelectionTable":
+        payload = json.loads(text)
+        schema = payload.get("schema")
+        if schema != TABLE_SCHEMA:
+            raise ValueError(
+                f"selection table schema {schema!r} unsupported "
+                f"(expected {TABLE_SCHEMA}); re-run 'python -m repro tune'")
+        table = cls(meta=dict(payload.get("meta", {})))
+        for kind, rows in payload.get("entries", {}).items():
+            for p, n, algo in rows:
+                table.record(kind, int(p), int(n), str(algo))
+        return table
+
+    def save(self, path: Optional[pathlib.Path] = None) -> pathlib.Path:
+        path = path if path is not None else default_table_path()
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(self.to_json())
+        return path
+
+    @classmethod
+    def load(cls, path: Optional[pathlib.Path] = None) -> "SelectionTable":
+        path = path if path is not None else default_table_path()
+        return cls.from_json(path.read_text())
+
+
+def build_selection_table(
+        kinds: Optional[Iterable[str]] = None,
+        ps: Sequence[int] = DEFAULT_PS,
+        sizes: Sequence[int] = DEFAULT_SIZES,
+        config: Optional[SCCConfig] = None, *,
+        blocking: bool = False) -> SelectionTable:
+    """Price the repertoire over a ``(kind, p, n)`` grid and keep winners."""
+    config = config if config is not None else SCCConfig()
+    topology = default_topology(config.mesh_cols, config.mesh_rows,
+                                config.cores_per_tile)
+    model = LatencyModel(config, topology)
+    kinds = tuple(kinds) if kinds is not None else SCHEDULED_KINDS
+    table = SelectionTable(meta={
+        "ps": list(ps),
+        "sizes": list(sizes),
+        "blocking": blocking,
+        "cores": config.num_cores,
+    })
+    for kind in kinds:
+        for p in ps:
+            if p > config.num_cores:
+                continue
+            for n in sizes:
+                table.record(kind, p, n,
+                             select_algo(kind, p, n, model,
+                                         blocking=blocking))
+    return table
+
+
+class TunedCommunicator(Communicator):
+    """lightweight_balanced + table-driven schedule selection.
+
+    Explicit ``algo=`` arguments pass through untouched (including
+    native names), so every seed behavior stays reachable; only the
+    *default* selection changes.
+    """
+
+    def __init__(self, machine: Machine, *,
+                 table: Optional[SelectionTable] = None,
+                 table_path: Optional[pathlib.Path] = None):
+        from repro.lwnb.api import LWNB
+        super().__init__(machine, LWNB(machine),
+                         partitioner=balanced_partition, name="tuned")
+        self._table = table
+        self._table_path = table_path
+        self._table_loaded = table is not None
+        self._fallback_picks: dict = {}
+
+    # -- selection -------------------------------------------------------
+    def _load_table(self) -> Optional[SelectionTable]:
+        if not self._table_loaded:
+            self._table_loaded = True
+            path = (self._table_path if self._table_path is not None
+                    else default_table_path())
+            try:
+                self._table = SelectionTable.load(path)
+            except (OSError, ValueError, json.JSONDecodeError):
+                self._table = None
+        return self._table
+
+    def pick_algo(self, kind: str, p: int, n: int) -> str:
+        """Resolve the schedule name for one call (``sched:`` prefixed)."""
+        table = self._load_table()
+        name = table.pick(kind, p, n) if table is not None else None
+        if name is None or name not in builder_names(kind):
+            key = (kind, p, n)
+            name = self._fallback_picks.get(key)
+            if name is None:
+                name = select_algo(kind, p, n, self.machine.latency,
+                                   blocking=self.blocking)
+                self._fallback_picks[key] = name
+        return f"sched:{name}"
+
+    # -- collectives -----------------------------------------------------
+    def allreduce(self, env: CoreEnv, sendbuf: np.ndarray,
+                  op: ReduceOp = SUM,
+                  algo: Optional[str] = None) -> Generator:
+        if algo is None:
+            algo = self.pick_algo("allreduce", env.size, sendbuf.size)
+        return super().allreduce(env, sendbuf, op, algo)
+
+    def reduce(self, env: CoreEnv, sendbuf: np.ndarray,
+               op: ReduceOp = SUM, root: int = 0,
+               algo: Optional[str] = None) -> Generator:
+        if algo is None:
+            algo = self.pick_algo("reduce", env.size, sendbuf.size)
+        return super().reduce(env, sendbuf, op, root, algo)
+
+    def bcast(self, env: CoreEnv, buf: np.ndarray, root: int = 0,
+              algo: Optional[str] = None) -> Generator:
+        if algo is None:
+            algo = self.pick_algo("bcast", env.size, buf.size)
+        return super().bcast(env, buf, root, algo)
+
+    def allgather(self, env: CoreEnv, sendbuf: np.ndarray,
+                  algo: Optional[str] = None) -> Generator:
+        if algo is None:
+            algo = self.pick_algo("allgather", env.size, sendbuf.size)
+        return super().allgather(env, sendbuf, algo)
+
+    def reduce_scatter(self, env: CoreEnv, sendbuf: np.ndarray,
+                       op: ReduceOp = SUM,
+                       algo: Optional[str] = None) -> Generator:
+        if algo is None:
+            algo = self.pick_algo("reduce_scatter", env.size,
+                                  sendbuf.size)
+        return super().reduce_scatter(env, sendbuf, op, algo)
+
+    def alltoall(self, env: CoreEnv, sendbuf: np.ndarray,
+                 algo: Optional[str] = None) -> Generator:
+        if algo is None:
+            algo = self.pick_algo("alltoall", env.size,
+                                  sendbuf.size // env.size)
+        return super().alltoall(env, sendbuf, algo)
+
+    def scan(self, env: CoreEnv, sendbuf: np.ndarray,
+             op: ReduceOp = SUM,
+             algo: Optional[str] = None) -> Generator:
+        if algo is None:
+            algo = self.pick_algo("scan", env.size, sendbuf.size)
+        return super().scan(env, sendbuf, op, algo)
+
+
+def make_tuned(machine: Machine) -> TunedCommunicator:
+    return TunedCommunicator(machine)
+
+
+def install_tuned_stack() -> None:
+    """Register the ``tuned`` stack (idempotent; called by the registry)."""
+    from repro.core.registry import _FACTORIES, register_stack
+
+    if "tuned" not in _FACTORIES:
+        register_stack("tuned", make_tuned)

@@ -1,0 +1,90 @@
+"""The static schedule verifier: clean repertoire, flagged fixtures."""
+
+import pytest
+
+from repro.analysis.sched_fixtures import broken_schedules
+from repro.analysis.schedverify import (
+    RULES,
+    ScheduleVerifyError,
+    assert_valid_schedule,
+    simulate_schedule,
+    verify_repertoire,
+    verify_schedule,
+)
+from repro.core.blocks import standard_partition
+from repro.sched.builders import all_schedules, build_schedule
+from repro.sched.ir import Interval, Recv, Schedule, Send
+
+
+def test_shipped_repertoire_is_clean():
+    part = standard_partition(8, 4)
+    for sched in all_schedules(4, 8, part=part):
+        assert verify_schedule(sched) == []
+
+
+def test_verify_repertoire_sweep():
+    assert verify_repertoire(ps=(1, 2, 3, 5), sizes=(1, 8)) > 0
+
+
+@pytest.mark.parametrize("name", sorted(broken_schedules()))
+def test_broken_fixture_trips_its_rule(name):
+    sched, expected_rule = broken_schedules()[name]
+    diagnostics = verify_schedule(sched)
+    assert expected_rule in {d.rule for d in diagnostics}, (
+        f"{name}: expected {expected_rule}, got "
+        f"{[str(d) for d in diagnostics]}")
+
+
+def test_at_least_three_fixtures():
+    # The verifier's own regression floor: several distinct bug classes.
+    fixtures = broken_schedules()
+    assert len(fixtures) >= 3
+    assert len({rule for _, rule in fixtures.values()}) >= 3
+    for _, rule in fixtures.values():
+        assert rule in RULES
+
+
+def test_assert_valid_raises_with_catalogue_rule():
+    sched, rule = broken_schedules()["truncated_send"]
+    with pytest.raises(ScheduleVerifyError) as err:
+        assert_valid_schedule(sched)
+    assert rule in str(err.value)
+    assert all(d.rule in RULES for d in err.value.diagnostics)
+
+
+def _two_rank(plan0, plan1, kind="bcast", n=4):
+    return Schedule(kind, "handmade", 2, n, {"in": n, "work": n},
+                    (tuple(plan0), tuple(plan1)))
+
+
+def test_self_message_flagged():
+    whole = Interval("work", 0, 4)
+    sched = _two_rank([Send(0, whole)], [])
+    assert "self-message" in {d.rule for d in verify_schedule(sched)}
+
+
+def test_bad_peer_flagged():
+    whole = Interval("work", 0, 4)
+    sched = _two_rank([Send(7, whole)], [])
+    assert "bad-peer" in {d.rule for d in verify_schedule(sched)}
+
+
+def test_symbolic_interpreter_moves_atoms():
+    whole_in = Interval("in", 0, 4)
+    whole_work = Interval("work", 0, 4)
+    sched = _two_rank([Send(1, whole_in)], [Recv(0, whole_work)])
+    state = simulate_schedule(sched)
+    # Rank 1's work now holds rank 0's input atoms, element by element.
+    for j in range(4):
+        assert state[1]["work"][j] == {(0, j): 1}
+    # Rank 0's input is untouched.
+    for j in range(4):
+        assert state[0]["in"][j] == {(0, j): 1}
+
+
+def test_diagnostic_str_mentions_schedule_and_rule():
+    sched, rule = broken_schedules()["oob_interval"]
+    diag = verify_schedule(sched)[0]
+    text = str(diag)
+    assert sched.label in text
+    assert diag.rule in text

@@ -1,0 +1,132 @@
+"""Golden bit-identity: schedule engine == seed algorithms, in virtual time.
+
+The schedule engine must not merely compute the right answer — for the
+default repertoire it must charge *exactly* the virtual time of the
+hand-written seed algorithms on every stack, so that swapping the
+dispatch layer underneath the figures is invisible.  Two tiers:
+
+* the full variant matrix at small rank counts (p = 2 and 5, covering
+  the power-of-two and odd/general tree paths) on all five native
+  stacks;
+* every collective kind x stack at the paper-scale rank counts
+  p = 47 and 48, rotating which algorithm variant is exercised so the
+  whole repertoire is also covered at large p.
+
+``measure_collective`` returns the rank-0 latency in microseconds from
+a deterministic simulation; equality is exact float equality.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench.runner import measure_collective
+from repro.core.registry import make_communicator
+from repro.hw.config import SCCConfig
+from repro.hw.machine import Machine
+
+STACKS = ("blocking", "ircce", "lightweight", "lightweight_balanced",
+          "mpb")
+
+#: (kind, algorithm, per-rank doubles) — sizes pick each algorithm's
+#: natural regime (>= 64 doubles is "long" under the 512-byte rule).
+VARIANTS = (
+    ("allreduce", "rsag", 70),
+    ("allreduce", "reduce_bcast", 20),
+    ("allreduce", "recursive_doubling", 20),
+    ("allreduce", "recursive_halving", 70),
+    ("reduce", "binomial", 20),
+    ("reduce", "rsg", 70),
+    ("bcast", "binomial", 20),
+    ("bcast", "scatter_allgather", 70),
+    ("allgather", "ring", 20),
+    ("allgather", "bruck", 20),
+    ("reduce_scatter", "ring", 40),
+    ("alltoall", "pairwise", 8),
+)
+
+VARIANTS_BY_KIND = {}
+for kind, name, size in VARIANTS:
+    VARIANTS_BY_KIND.setdefault(kind, []).append((name, size))
+
+
+def assert_identical(kind, stack, size, cores, algo):
+    native = measure_collective(kind, stack, size, cores=cores,
+                                algo=algo)
+    sched = measure_collective(kind, stack, size, cores=cores,
+                               algo=f"sched:{algo}")
+    assert sched == native, (
+        f"{kind}:{algo} on {stack} p={cores} n={size}: "
+        f"schedule {sched}us != native {native}us")
+
+
+@pytest.mark.parametrize("stack", STACKS)
+@pytest.mark.parametrize("cores", [2, 5])
+@pytest.mark.parametrize("kind,algo,size", VARIANTS)
+def test_variant_matrix_small_p(kind, algo, size, cores, stack):
+    assert_identical(kind, stack, size, cores, algo)
+
+
+@pytest.mark.parametrize("cores", [47, 48])
+@pytest.mark.parametrize("stack", STACKS)
+@pytest.mark.parametrize("kind", sorted(VARIANTS_BY_KIND))
+def test_every_kind_and_stack_at_scale(kind, stack, cores):
+    variants = VARIANTS_BY_KIND[kind]
+    algo, size = variants[STACKS.index(stack) % len(variants)]
+    assert_identical(kind, stack, size, cores, algo)
+
+
+def scan_latencies(stack, cores, algo, size=20):
+    machine = Machine(SCCConfig())
+    comm = make_communicator(machine, stack)
+    rng = np.random.default_rng(20120901)
+    inputs = [rng.normal(size=size) for _ in range(cores)]
+
+    def program(env):
+        yield from comm.barrier(env)
+        start = env.now
+        result = yield from comm.scan(env, inputs[env.rank], algo=algo)
+        return env.now - start, result
+
+    run = machine.run_spmd(program, ranks=list(range(cores)))
+    return ([v[0] for v in run.values], [v[1] for v in run.values])
+
+
+@pytest.mark.parametrize("stack", STACKS)
+@pytest.mark.parametrize("cores", [2, 5, 47, 48])
+def test_scan_bit_identity(stack, cores):
+    native_t, native_v = scan_latencies(stack, cores,
+                                        "recursive_doubling")
+    sched_t, sched_v = scan_latencies(stack, cores,
+                                      "sched:recursive_doubling")
+    assert sched_t == native_t
+    for a, b in zip(native_v, sched_v):
+        assert np.array_equal(a, b)
+
+
+@pytest.mark.parametrize("kind,short,long", [
+    ("allreduce", 20, 70),
+    ("bcast", 20, 70),
+    ("reduce", 20, 70),
+])
+def test_default_selection_unchanged(kind, short, long):
+    # algo=None must keep the seed's 512-byte threshold rule: the
+    # explicit native names reproduce it exactly on either side.
+    from repro.sched.builders import DEFAULT_ALGOS
+
+    short_name, long_name = DEFAULT_ALGOS[kind]
+    for stack in ("blocking", "lightweight_balanced"):
+        assert measure_collective(kind, stack, short, cores=5) == \
+            measure_collective(kind, stack, short, cores=5,
+                               algo=short_name)
+        assert measure_collective(kind, stack, long, cores=5) == \
+            measure_collective(kind, stack, long, cores=5,
+                               algo=long_name)
+
+
+def test_unknown_algorithms_rejected():
+    with pytest.raises(KeyError, match="allgather"):
+        measure_collective("allgather", "blocking", 8, cores=2,
+                           algo="hypercube")
+    with pytest.raises(KeyError, match="known"):
+        measure_collective("allreduce", "blocking", 8, cores=2,
+                           algo="sched:hypercube")

@@ -1,0 +1,96 @@
+"""IR-level invariants: step validation and schedule structure."""
+
+import pytest
+
+from repro.sched.ir import (
+    COMM_STEPS,
+    CopyBlock,
+    Exchange,
+    Interval,
+    Recv,
+    ReduceRecv,
+    Rotate,
+    Schedule,
+    Send,
+)
+
+
+def iv(lo, hi, buf="work"):
+    return Interval(buf, lo, hi)
+
+
+class TestInterval:
+    def test_nels_and_str(self):
+        assert iv(2, 6).nels == 4
+        assert str(iv(2, 6)) == "work[2:6]"
+
+    def test_empty_interval_is_legal(self):
+        assert iv(3, 3).nels == 0
+
+    @pytest.mark.parametrize("lo,hi", [(-1, 3), (5, 2)])
+    def test_bad_bounds_rejected(self, lo, hi):
+        with pytest.raises(ValueError):
+            iv(lo, hi)
+
+
+class TestExchange:
+    def test_one_sided_send(self):
+        step = Exchange(send_peer=1, send=iv(0, 4),
+                        recv_peer=None, recv=None)
+        assert step.recv is None
+
+    def test_sides_must_pair(self):
+        with pytest.raises(ValueError):
+            Exchange(send_peer=1, send=None, recv_peer=None, recv=None)
+        with pytest.raises(ValueError):
+            Exchange(send_peer=None, send=iv(0, 4),
+                     recv_peer=None, recv=None)
+
+    def test_neither_side_rejected(self):
+        with pytest.raises(ValueError):
+            Exchange(send_peer=None, send=None,
+                     recv_peer=None, recv=None)
+
+    def test_reduce_needs_receive(self):
+        with pytest.raises(ValueError):
+            Exchange(send_peer=1, send=iv(0, 4),
+                     recv_peer=None, recv=None, reduce=True)
+
+
+class TestCopyBlock:
+    def test_size_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            CopyBlock(iv(0, 4, "in"), iv(0, 3))
+
+    def test_uncharged_by_default(self):
+        assert not CopyBlock(iv(0, 4, "in"), iv(0, 4)).charged
+
+
+class TestSchedule:
+    def make(self, p=2):
+        plans = tuple((Send(1 - r, iv(0, 4)),) for r in range(p))
+        return Schedule("bcast", "test", p, 4,
+                        {"in": 4, "work": 4}, plans)
+
+    def test_label_and_total_steps(self):
+        sched = self.make()
+        assert sched.label == "bcast:test"
+        assert sched.total_steps() == 2
+
+    def test_plan_count_must_match_p(self):
+        with pytest.raises(ValueError):
+            Schedule("bcast", "test", 3, 4, {"in": 4, "work": 4},
+                     ((), ()))
+
+    def test_steps_are_frozen(self):
+        step = Send(0, iv(0, 4))
+        with pytest.raises(AttributeError):
+            step.peer = 1
+
+    def test_comm_steps_catalogue(self):
+        assert Send in COMM_STEPS
+        assert Recv in COMM_STEPS
+        assert ReduceRecv in COMM_STEPS
+        assert Exchange in COMM_STEPS
+        assert CopyBlock not in COMM_STEPS
+        assert Rotate not in COMM_STEPS

@@ -50,6 +50,29 @@ class TestLinkChecker:
         assert check_docs.main(["--links"]) == 0
 
 
+class TestCliCoverage:
+    def test_all_subcommands_documented(self):
+        assert check_docs.check_cli() == []
+
+    def test_introspects_the_real_parser(self):
+        names = check_docs.cli_subcommands()
+        assert names == sorted(names)
+        assert {"fig9", "sweep", "tune", "lint"} <= set(names)
+
+    def test_detects_undocumented_subcommand(self, tmp_path, monkeypatch):
+        docs = tmp_path / "docs"
+        docs.mkdir()
+        (docs / "api.md").write_text("python -m repro sweep\n")
+        monkeypatch.setattr(check_docs, "REPO_ROOT", str(tmp_path))
+        failures = check_docs.check_cli()
+        assert failures
+        assert any("'tune'" in f for f in failures)
+        assert not any("'sweep'" in f for f in failures)
+
+    def test_cli_entrypoint(self, capsys):
+        assert check_docs.main(["--cli"]) == 0
+
+
 @pytest.mark.skipif(os.environ.get("REPRO_SKIP_EXAMPLE_SMOKE") == "1",
                     reason="example smoke runs disabled by env")
 class TestExamplesSmoke:

@@ -11,10 +11,15 @@ Two checks, both wired into the test suite (``tests/test_docs_check.py``):
 * ``--examples`` — run every ``examples/*.py`` with ``--smoke`` (the
   seconds-scale sizes every example supports) and fail on a non-zero
   exit.
+* ``--cli`` — every ``python -m repro`` subcommand (introspected from
+  ``repro.cli.build_parser``) must appear as ``python -m repro <name>``
+  in ``docs/api.md``, so the command-line reference can never silently
+  fall behind the parser.
 
 Exit status: 0 when everything passes, 1 otherwise.
 
-Run:  python tools/check_docs.py [--links] [--examples] [--verbose]
+Run:  python tools/check_docs.py [--links] [--examples] [--cli]
+      [--verbose]
 """
 
 from __future__ import annotations
@@ -106,20 +111,58 @@ def check_examples(verbose: bool = False) -> list[str]:
     return failures
 
 
+def cli_subcommands() -> list[str]:
+    """Subcommand names introspected from the installed CLI parser."""
+    src = os.path.join(REPO_ROOT, "src")
+    if src not in sys.path:
+        sys.path.insert(0, src)
+    from repro.cli import build_parser
+
+    parser = build_parser()
+    for action in parser._actions:
+        if isinstance(action, argparse._SubParsersAction):
+            return sorted(action.choices)
+    return []
+
+
+def check_cli(verbose: bool = False) -> list[str]:
+    """Every CLI subcommand must be documented in docs/api.md."""
+    api = os.path.join(REPO_ROOT, "docs", "api.md")
+    with open(api) as fh:
+        text = fh.read()
+    failures = []
+    names = cli_subcommands()
+    for name in names:
+        needle = f"python -m repro {name}"
+        if needle not in text:
+            failures.append(
+                f"docs/api.md: subcommand {name!r} undocumented "
+                f"(expected the literal text '{needle}')")
+        elif verbose:
+            print(f"ok   docs/api.md: {needle}")
+    print(f"cli: {len(names)} subcommands checked against docs/api.md, "
+          f"{len(failures)} undocumented")
+    return failures
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--links", action="store_true",
                         help="check intra-repo markdown links")
     parser.add_argument("--examples", action="store_true",
                         help="run examples/*.py with --smoke")
+    parser.add_argument("--cli", action="store_true",
+                        help="check CLI subcommand coverage in docs/api.md")
     parser.add_argument("--verbose", action="store_true")
     args = parser.parse_args(argv)
-    if not args.links and not args.examples:
-        args.links = True  # default check
+    if not args.links and not args.examples and not args.cli:
+        args.links = args.cli = True  # default checks
 
     failures = []
     if args.links:
         failures += check_links(args.verbose)
+    if args.cli:
+        failures += check_cli(args.verbose)
     if args.examples:
         failures += check_examples(args.verbose)
     for failure in failures:

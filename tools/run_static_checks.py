@@ -1,5 +1,6 @@
 #!/usr/bin/env python
-"""One-shot static-analysis gate: ruff + mypy + the repo's own AST lint.
+"""One-shot static-analysis gate: ruff + mypy + the repo's own AST lint
+and schedule verifier.
 
 The external tools are optional (install via ``pip install -e
 '.[lint]'``; versions are pinned in ``pyproject.toml``): when a tool is
@@ -70,7 +71,36 @@ def main(argv: list[str] | None = None) -> int:
     print(f"{status} repro-lint ({len(findings)} finding(s))")
     statuses.append(status)
 
+    statuses.append(_run_sched_verify())
+
     return 1 if "FAIL" in statuses else 0
+
+
+def _run_sched_verify() -> str:
+    """Verify the shipped schedule repertoire and the broken fixtures."""
+    from repro.analysis.sched_fixtures import broken_schedules
+    from repro.analysis.schedverify import (ScheduleVerifyError,
+                                            verify_repertoire,
+                                            verify_schedule)
+
+    try:
+        checked = verify_repertoire()
+    except ScheduleVerifyError as err:
+        print(f"FAIL sched-verify (shipped repertoire)\n{err}")
+        return "FAIL"
+    missed = []
+    for name, (sched, rule) in broken_schedules().items():
+        rules = {d.rule for d in verify_schedule(sched)}
+        if rule not in rules:
+            missed.append(f"{name}: expected {rule}, got {sorted(rules)}")
+    if missed:
+        print("FAIL sched-verify (fixtures not flagged)")
+        for line in missed:
+            print(f"  {line}")
+        return "FAIL"
+    print(f"PASS sched-verify ({checked} schedules verified, "
+          f"{len(broken_schedules())} fixtures flagged)")
+    return "PASS"
 
 
 if __name__ == "__main__":
