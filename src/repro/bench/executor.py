@@ -235,13 +235,25 @@ def default_jobs() -> int:
 
 @dataclass
 class SweepOutcome:
-    """Latencies (in point order) plus execution accounting."""
+    """Latencies (in point order) plus execution accounting.
+
+    ``hits``/``misses`` count cache activity among the *simulated*
+    points.  ``analytic`` is the number of points priced by the analytic
+    engine instead of simulated; ``validated`` how many of those were
+    additionally cross-checked against the simulator (auto engine), and
+    ``max_drift`` the signed relative deviation of the worst validated
+    point — negative means the estimate undershot the simulator (0.0
+    when nothing was validated).
+    """
 
     latencies: list[float]
     hits: int
     misses: int
     jobs: int
     wall_s: float
+    analytic: int = 0
+    validated: int = 0
+    max_drift: float = 0.0
 
     @property
     def points(self) -> int:
@@ -269,16 +281,46 @@ def _pool_context() -> multiprocessing.context.BaseContext:
 
 def run_sweep(points: Sequence[SweepPoint], *,
               jobs: Optional[int] = None,
-              cache: Union[ResultCache, bool, None] = None) -> SweepOutcome:
+              cache: Union[ResultCache, bool, None] = None,
+              engine: str = "sim") -> SweepOutcome:
     """Execute a sweep plan and return latencies in point order.
 
     ``jobs``: worker processes (None → ``REPRO_BENCH_JOBS``, default 1;
     0 → all CPUs).  ``cache``: a :class:`ResultCache`, True/False to
     force the default cache on/off, or None for the ``REPRO_BENCH_CACHE``
-    default.  Results are bit-identical across all (jobs, cache)
-    combinations: every point is an independent deterministic simulation
-    and floats round-trip exactly through the cache's JSON encoding.
+    default.  With the default ``engine="sim"`` results are bit-identical
+    across all (jobs, cache) combinations: every point is an independent
+    deterministic simulation and floats round-trip exactly through the
+    cache's JSON encoding.
+
+    ``engine`` selects how points are priced (see
+    :mod:`repro.bench.analytic` and ``docs/engines.md``):
+
+    * ``"sim"`` — simulate everything (the historical behavior);
+    * ``"analytic"`` — closed-form estimates for every expressible
+      point, simulation for the rest;
+    * ``"auto"`` — ``analytic`` plus a deterministic sample of the
+      estimated points re-run through the simulator
+      (``REPRO_BENCH_VALIDATE`` points); any sampled point whose
+      estimate drifts beyond ``REPRO_BENCH_DRIFT_TOL`` raises
+      :class:`~repro.bench.analytic.EngineDriftError`.
+
+    Analytic estimates are never written to (or read from) the result
+    cache — it stores simulated latencies only.  Validation simulations
+    are ordinary simulations and use the cache as usual.
     """
+    from repro.bench.analytic import (
+        ENGINES,
+        EngineDriftError,
+        analytic_latency_us,
+        default_drift_tol,
+        default_validate,
+        validation_sample,
+    )
+
+    if engine not in ENGINES:
+        raise ValueError(
+            f"unknown engine {engine!r}: expected one of {ENGINES}")
     points = list(points)
     jobs = default_jobs() if jobs is None else (jobs or (os.cpu_count() or 1))
     if jobs < 1:
@@ -287,18 +329,44 @@ def run_sweep(points: Sequence[SweepPoint], *,
     started = time.perf_counter()
 
     latencies: list[Optional[float]] = [None] * len(points)
-    fingerprints: list[Optional[str]] = [None] * len(points)
+
+    # Split the plan: analytically priced points vs points that must be
+    # simulated (everything, for the sim engine; the analytic engine's
+    # fallback points otherwise).  Auto additionally simulates a sampled
+    # subset of the priced points for cross-validation.
+    analytic_idx: list[int] = []
+    sim_idx: list[int] = []
+    validate_idx: list[int] = []
+    if engine == "sim":
+        sim_idx = list(range(len(points)))
+    else:
+        for i, point in enumerate(points):
+            estimate = analytic_latency_us(point)
+            if estimate is None:
+                sim_idx.append(i)
+            else:
+                latencies[i] = estimate
+                analytic_idx.append(i)
+        if engine == "auto" and analytic_idx:
+            validate_idx = [
+                analytic_idx[j]
+                for j in validation_sample(len(analytic_idx),
+                                           default_validate())]
+
+    to_sim = sim_idx + validate_idx  # disjoint by construction
+    fingerprints: dict[int, str] = {}
+    sim_values: dict[int, float] = {}
     pending: list[int] = []
     if store is not None:
-        for i, point in enumerate(points):
-            fp = fingerprints[i] = fingerprint(point)
+        for i in to_sim:
+            fp = fingerprints[i] = fingerprint(points[i])
             hit = store.get(fp)
             if hit is None:
                 pending.append(i)
             else:
-                latencies[i] = hit
+                sim_values[i] = hit
     else:
-        pending = list(range(len(points)))
+        pending = list(to_sim)
 
     if pending:
         todo = [points[i] for i in pending]
@@ -309,14 +377,39 @@ def run_sweep(points: Sequence[SweepPoint], *,
         else:
             fresh = [_execute_point(point) for point in todo]
         for i, value in zip(pending, fresh):
-            latencies[i] = value
+            sim_values[i] = value
             if store is not None:
                 store.put(fingerprints[i], value, points[i])
 
+    for i in sim_idx:
+        latencies[i] = sim_values[i]
+
+    # Cross-validation: compare the estimate (which stays the reported
+    # value — auto is the analytic engine with a safety net, not a mix
+    # of pricing regimes) against the simulated truth.
+    max_drift = 0.0
+    drifts: list[tuple[str, float, float, float]] = []
+    if validate_idx:
+        tolerance = default_drift_tol()
+        for i in validate_idx:
+            sim_us = sim_values[i]
+            ana_us = latencies[i]
+            drift = (ana_us - sim_us) / sim_us if sim_us else 0.0
+            if abs(drift) > abs(max_drift):
+                max_drift = drift
+            if abs(drift) > tolerance:
+                drifts.append((points[i].describe(), ana_us, sim_us, drift))
+        if drifts:
+            drifts.sort(key=lambda d: -abs(d[3]))
+            raise EngineDriftError(drifts, tolerance)
+
     return SweepOutcome(
         latencies=latencies,  # type: ignore[arg-type]  # all filled above
-        hits=len(points) - len(pending),
+        hits=len(to_sim) - len(pending),
         misses=len(pending),
         jobs=jobs,
         wall_s=time.perf_counter() - started,
+        analytic=len(analytic_idx),
+        validated=len(validate_idx),
+        max_drift=max_drift,
     )

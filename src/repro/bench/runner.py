@@ -187,11 +187,18 @@ class CollectiveBench:
         ]
 
     def run(self, *, jobs: Optional[int] = None,
-            cache=None) -> dict[str, list[float]]:
-        """latencies[stack] = [us per size]."""
+            cache=None, engine: str = "sim") -> dict[str, list[float]]:
+        """latencies[stack] = [us per size].
+
+        ``engine`` selects the pricing backend per point — ``"sim"``
+        (default, simulate everything), ``"analytic"`` (closed-form
+        estimates where expressible) or ``"auto"`` (analytic with
+        sampled simulator cross-validation).  See ``docs/engines.md``.
+        """
         from repro.bench.executor import run_sweep
 
-        outcome = run_sweep(self.points(), jobs=jobs, cache=cache)
+        outcome = run_sweep(self.points(), jobs=jobs, cache=cache,
+                            engine=engine)
         values = iter(outcome.latencies)
         return {stack: [next(values) for _ in self.sizes]
                 for stack in self.stacks}
@@ -201,7 +208,8 @@ def sweep(kind: str, stacks: Sequence[str],
           sizes: Optional[Sequence[int]] = None,
           cores: Optional[int] = None, *,
           jobs: Optional[int] = None,
-          cache=None, algo: Optional[str] = None) -> dict[str, list[float]]:
+          cache=None, algo: Optional[str] = None,
+          engine: str = "sim") -> dict[str, list[float]]:
     """Convenience wrapper around :class:`CollectiveBench`."""
     bench = CollectiveBench(
         kind, stacks,
@@ -209,4 +217,4 @@ def sweep(kind: str, stacks: Sequence[str],
         cores=cores if cores is not None else default_cores(),
         algo=algo,
     )
-    return bench.run(jobs=jobs, cache=cache)
+    return bench.run(jobs=jobs, cache=cache, engine=engine)

@@ -114,7 +114,7 @@ def _cmd_stepwise(args: argparse.Namespace) -> int:
 def _cmd_sweep(args: argparse.Namespace) -> int:
     sizes = _parse_sizes(args.sizes)
     data = sweep(args.kind, args.stacks, sizes, cores=args.cores,
-                 algo=args.algorithm)
+                 algo=args.algorithm, engine=args.engine)
     series = [Series.from_lists(stack, sizes, data[stack])
               for stack in args.stacks]
     print(format_series_table(series))
@@ -148,15 +148,22 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     points = [SweepPoint(kind=args.kind, stack=stack, size=n, cores=cores,
                          algo=args.algorithm)
               for stack in args.stacks for n in sizes]
-    outcome = run_sweep(points, jobs=args.jobs, cache=cache)
+    outcome = run_sweep(points, jobs=args.jobs, cache=cache,
+                        engine=args.engine)
     values = iter(outcome.latencies)
     data = {stack: [next(values) for _ in sizes] for stack in args.stacks}
     series = [Series.from_lists(stack, sizes, data[stack])
               for stack in args.stacks]
     print(format_series_table(series))
-    print(f"{outcome.points} points in {outcome.wall_s:.2f}s "
-          f"(jobs={outcome.jobs}, cache hits {outcome.hits}, "
-          f"simulated {outcome.misses})")
+    accounting = (f"{outcome.points} points in {outcome.wall_s:.2f}s "
+                  f"(jobs={outcome.jobs}, cache hits {outcome.hits}, "
+                  f"simulated {outcome.misses}")
+    if outcome.analytic:
+        accounting += f", analytic {outcome.analytic}"
+    if outcome.validated:
+        accounting += (f", validated {outcome.validated} "
+                       f"[max drift {outcome.max_drift:+.1%}]")
+    print(accounting + ")")
     if args.wallclock_out:
         payload = {
             "kind": args.kind, "stacks": list(args.stacks), "sizes": sizes,
@@ -375,6 +382,13 @@ def build_parser() -> argparse.ArgumentParser:
                         help="override the per-size algorithm selection "
                              "(native name like 'rsag', or "
                              "'sched:<name>' for the schedule engine)")
+    psweep.add_argument("--engine", choices=("sim", "analytic", "auto"),
+                        default="sim",
+                        help="pricing backend: simulate every point "
+                             "(sim, default), closed-form BSP estimate "
+                             "(analytic), or analytic with sampled sim "
+                             "cross-validation (auto); see "
+                             "docs/engines.md")
     psweep.set_defaults(func=_cmd_sweep)
 
     pbench = sub.add_parser(
@@ -401,6 +415,13 @@ def build_parser() -> argparse.ArgumentParser:
     pbench.add_argument("--algorithm", default=None,
                         help="override the per-size algorithm selection "
                              "(native name or 'sched:<name>')")
+    pbench.add_argument("--engine", choices=("sim", "analytic", "auto"),
+                        default="sim",
+                        help="pricing backend: simulate every point "
+                             "(sim, default), closed-form BSP estimate "
+                             "(analytic), or analytic with sampled sim "
+                             "cross-validation (auto); see "
+                             "docs/engines.md")
     pbench.add_argument("--smoke", action="store_true",
                         help="run the wall-clock smoke baseline and write "
                              "BENCH_wallclock.json")

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Generator
 
-from repro.sim.events import Gate
+from repro.sim.events import Gate, Timeout
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.hw.machine import Core, Machine
@@ -26,13 +26,17 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 class Flag:
     """One synchronization flag living in ``owner``'s MPB."""
 
-    __slots__ = ("machine", "owner", "name", "gate")
+    __slots__ = ("machine", "owner", "name", "gate",
+                 "_label_set", "_label_clear")
 
     def __init__(self, machine: "Machine", owner: int, name: str):
         self.machine = machine
         self.owner = owner
         self.name = name
         self.gate = Gate(machine.sim, name=f"flag[{owner}].{name}")
+        # Wait-event labels, built once per flag rather than per wait.
+        self._label_set = ("wait_set", self.gate.name)
+        self._label_clear = ("wait_clear", self.gate.name)
 
     @property
     def value(self) -> bool:
@@ -41,18 +45,36 @@ class Flag:
     # -- timed operations (generators; use via ``yield from``) ------------
     def set_by(self, core: "Core") -> Generator:
         """``core`` writes 1 to the flag (MPB write latency applies)."""
-        yield from self._write_by(core, True)
+        return self._write_by(core, True)
 
     def clear_by(self, core: "Core") -> Generator:
         """``core`` writes 0 to the flag."""
-        yield from self._write_by(core, False)
+        return self._write_by(core, False)
 
     def _write_by(self, core: "Core", level: bool) -> Generator:
         machine = self.machine
         cost = machine.latency.flag_write(core.core_id, self.owner)
         faults = machine.faults
         if faults is None:
-            yield from core.consume(cost, "overhead")
+            # Inline of Core.consume's fault-free fast path (flag writes
+            # are the single most frequent charge in the MPB protocols;
+            # skipping the extra generator frame is measurable).  Keep in
+            # sync with :meth:`repro.hw.machine.Core.consume`.
+            cpu = core.cpu
+            if cpu._locked or cpu._queue:
+                yield cpu.acquire()
+            else:
+                cpu._locked = True
+            try:
+                if cost > 0:
+                    yield Timeout(machine.sim, cost)
+                core.account.states["overhead"] += cost
+            finally:
+                queue = cpu._queue
+                if queue:
+                    queue.popleft().succeed()
+                else:
+                    cpu._locked = False
             if machine.san is not None:
                 machine.san.on_flag_write(self, level, core.core_id)
             self._apply(level)
@@ -86,11 +108,11 @@ class Flag:
 
     def wait_set(self, core: "Core") -> Generator:
         """``core`` polls until the flag is 1 (``rcce_wait_until``)."""
-        yield from self._wait_level(core, True)
+        return self._wait_level(core, True)
 
     def wait_clear(self, core: "Core") -> Generator:
         """``core`` polls until the flag is 0."""
-        yield from self._wait_level(core, False)
+        return self._wait_level(core, False)
 
     def _wait_level(self, core: "Core", level: bool) -> Generator:
         machine = self.machine
@@ -100,9 +122,12 @@ class Flag:
             notify += faults.flag_stale_extra_ps(core.core_id, self.owner,
                                                  self.name)
         event = self.gate.wait_level(level, notify)
-        event.label = ("wait_set" if level else "wait_clear",
-                       self.gate.name)
-        yield from core.wait(event, "wait_flag")
+        event.label = self._label_set if level else self._label_clear
+        # Inline of Core.wait (no CPU occupancy while polling).
+        sim = machine.sim
+        t0 = sim._now
+        yield event
+        core.account.states["wait_flag"] += sim._now - t0
         if machine.san is not None:
             machine.san.on_flag_observed(self, level, core.core_id)
 

@@ -24,7 +24,7 @@ from repro.hw.timing import LatencyModel
 from repro.hw.topology import Topology, default_topology
 from repro.sim.clock import ps_to_us
 from repro.sim.engine import Simulator
-from repro.sim.events import Event
+from repro.sim.events import Event, Timeout
 from repro.sim.resources import FifoLock
 from repro.sim.trace import TimeAccount, Tracer
 
@@ -50,18 +50,41 @@ class Core:
         self.account = TimeAccount()
 
     def consume(self, duration_ps: int, state: str = "compute") -> Generator:
-        """Occupy the core for ``duration_ps``, accounted under ``state``."""
-        faults = self.machine.faults
-        stall = (faults.stall_ps(self.core_id)
-                 if faults is not None and duration_ps > 0 else 0)
+        """Occupy the core for ``duration_ps``, accounted under ``state``.
+
+        The fault-free path is the kernel's hottest generator (one call
+        per modeled latency charge), so it inlines the lock fast path, the
+        timeout push and the account update; the fault-aware path keeps
+        the readable layered form.
+        """
+        machine = self.machine
+        if machine.faults is None:
+            cpu = self.cpu
+            if cpu._locked or cpu._queue:
+                yield cpu.acquire()
+            else:
+                cpu._locked = True
+            try:
+                if duration_ps > 0:
+                    yield Timeout(machine.sim, duration_ps)
+                self.account.states[state] += duration_ps
+            finally:
+                queue = cpu._queue
+                if queue:
+                    queue.popleft().succeed()
+                else:
+                    cpu._locked = False
+            return
+        faults = machine.faults
+        stall = faults.stall_ps(self.core_id) if duration_ps > 0 else 0
         if not self.cpu.try_acquire():
             yield self.cpu.acquire()
         try:
             if stall > 0:
-                yield self.machine.sim.timeout(stall)
+                yield machine.sim.timeout(stall)
                 self.account.add("stall", stall)
             if duration_ps > 0:
-                yield self.machine.sim.timeout(duration_ps)
+                yield machine.sim.timeout(duration_ps)
             self.account.add(state, duration_ps)
         finally:
             self.cpu.release()
@@ -69,9 +92,10 @@ class Core:
     def wait(self, event: Event, state: str = "wait") -> Generator:
         """Wait on ``event`` without occupying the core; time is accounted
         under ``state``.  Returns the event's value."""
-        t0 = self.machine.sim.now
+        sim = self.machine.sim
+        t0 = sim._now
         value = yield event
-        self.account.add(state, self.machine.sim.now - t0)
+        self.account.states[state] += sim._now - t0
         return value
 
     def consume_at_mpb(self, owner_core: int, duration_ps: int,
@@ -84,7 +108,8 @@ class Core:
         Lock order is always CPU first, then port; port holders only wait
         on timeouts, so the ordering is deadlock-free.
         """
-        ports = self.machine.mpb_ports
+        machine = self.machine
+        ports = machine.mpb_ports
         if ports is None:
             yield from self.consume(duration_ps, state)
             return
@@ -92,15 +117,15 @@ class Core:
             yield self.cpu.acquire()
         try:
             port = ports[owner_core]
-            t0 = self.machine.sim.now
+            t0 = machine.sim._now
             if not port.try_acquire():
                 yield port.acquire()
-            stall = self.machine.sim.now - t0
+            stall = machine.sim._now - t0
             if stall:
                 self.account.add("wait_port", stall)
             try:
                 if duration_ps > 0:
-                    yield self.machine.sim.timeout(duration_ps)
+                    yield Timeout(machine.sim, duration_ps)
                 self.account.add(state, duration_ps)
             finally:
                 port.release()
@@ -108,7 +133,7 @@ class Core:
             self.cpu.release()
 
     def compute_cycles(self, cycles: int | float, state: str = "compute") -> Generator:
-        yield from self.consume(self.machine.latency.core_cycles(cycles), state)
+        return self.consume(self.machine.latency.core_cycles(cycles), state)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Core {self.core_id}>"
@@ -177,12 +202,11 @@ class Machine:
 
     def flag(self, owner: int, name: str) -> Flag:
         """The flag ``name`` in ``owner``'s MPB (created on first use)."""
-        if not 0 <= owner < self.num_cores:
-            raise ValueError(f"flag owner {owner} out of range")
-        key = (owner, name)
-        flag = self._flags.get(key)
+        flag = self._flags.get((owner, name))
         if flag is None:
-            flag = self._flags[key] = Flag(self, owner, name)
+            if not 0 <= owner < self.num_cores:
+                raise ValueError(f"flag owner {owner} out of range")
+            flag = self._flags[(owner, name)] = Flag(self, owner, name)
         return flag
 
     def reset_mpbs(self) -> None:
@@ -224,9 +248,17 @@ class Machine:
 
 
 class CoreEnv:
-    """Per-rank execution environment handed to SPMD programs."""
+    """Per-rank execution environment handed to SPMD programs.
 
-    __slots__ = ("machine", "rank", "size", "_ranks", "core", "data")
+    ``sim``, ``config``, ``latency``, ``core_id`` are plain attributes
+    (they can never change over the env's lifetime) and the time helpers
+    return the underlying :class:`Core` generators directly — both shave
+    an attribute hop or a generator frame off paths the protocol layers
+    hit once or more per simulated event.
+    """
+
+    __slots__ = ("machine", "rank", "size", "_ranks", "core", "data",
+                 "sim", "config", "latency", "core_id")
 
     def __init__(self, machine: Machine, rank: int, size: int,
                  ranks: Sequence[int]):
@@ -236,12 +268,12 @@ class CoreEnv:
         self._ranks = list(ranks)
         self.core = machine.cores[self._ranks[rank]]
         self.data: dict[str, Any] = {}
+        self.sim: Simulator = machine.sim
+        self.config: SCCConfig = machine.config
+        self.latency: LatencyModel = machine.latency
+        self.core_id: int = self.core.core_id
 
     # -- identity ----------------------------------------------------------
-    @property
-    def core_id(self) -> int:
-        return self.core.core_id
-
     def core_of_rank(self, rank: int) -> int:
         return self._ranks[rank]
 
@@ -249,32 +281,20 @@ class CoreEnv:
         return self._ranks.index(core_id)
 
     @property
-    def sim(self) -> Simulator:
-        return self.machine.sim
-
-    @property
-    def config(self) -> SCCConfig:
-        return self.machine.config
-
-    @property
-    def latency(self) -> LatencyModel:
-        return self.machine.latency
-
-    @property
     def now(self) -> int:
-        return self.machine.sim.now
+        return self.sim._now
 
     # -- time --------------------------------------------------------------
     def compute(self, cycles: int | float) -> Generator:
         """Model ``cycles`` core cycles of application computation."""
-        yield from self.core.compute_cycles(cycles, "compute")
+        return self.core.compute_cycles(cycles, "compute")
 
     def consume(self, duration_ps: int, state: str) -> Generator:
-        yield from self.core.consume(duration_ps, state)
+        return self.core.consume(duration_ps, state)
 
     def sleep(self, duration_ps: int) -> Generator:
         """Idle (not occupying the CPU) for a fixed duration."""
-        yield from self.core.wait(self.sim.timeout(duration_ps), "idle")
+        return self.core.wait(Timeout(self.sim, duration_ps), "idle")
 
     # -- hardware handles -----------------------------------------------------
     def my_mpb(self) -> MPB:

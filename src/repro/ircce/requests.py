@@ -25,7 +25,7 @@ import numpy as np
 
 from repro.hw.machine import CoreEnv, Machine
 from repro.rcce.api import RCCE, take_announcement
-from repro.sim.events import Interrupt
+from repro.sim.events import AllOf, Interrupt
 from repro.sim.resources import FifoLock
 
 #: Wildcard source rank for :meth:`NonBlockingLayer.irecv` (iRCCE only).
@@ -78,6 +78,11 @@ class NonBlockingLayer:
         self.machine = machine
         self._proto = RCCE(machine)  # reuse the Fig.-3 protocol bodies
         self._outstanding: dict[tuple[int, str], int] = {}
+        # Issue/complete software overheads in ps, resolved lazily on
+        # first use (the cycle counts are per-layer constants; resolving
+        # them through the LatencyModel per request is wasted work).
+        self._issue_ps: Optional[int] = None
+        self._complete_ps: Optional[int] = None
         # A core owns ONE MPB send buffer, so concurrent isends from the
         # same core are processed strictly in issue order (as iRCCE does
         # with its request queue).  Likewise, concurrent ireceives from
@@ -122,8 +127,11 @@ class NonBlockingLayer:
         self._admit(env, "send")
         raw = np.ascontiguousarray(data).view(np.uint8).reshape(-1)
         req = Request(self, env, "send", dst, int(raw.size))
-        yield from env.consume(
-            env.latency.core_cycles(self.issue_cycles()), "overhead")
+        cost = self._issue_ps
+        if cost is None:
+            cost = self._issue_ps = env.latency.core_cycles(
+                self.issue_cycles())
+        yield from env.consume(cost, "overhead")
         req.proc = env.sim.process(
             self._send_proc(env, req, raw, dst),
             name=f"isend[{env.rank}->{dst}]")
@@ -143,8 +151,11 @@ class NonBlockingLayer:
         self._admit(env, "recv")
         raw_out = out.view(np.uint8).reshape(-1)
         req = Request(self, env, "recv", src, int(raw_out.size))
-        yield from env.consume(
-            env.latency.core_cycles(self.issue_cycles()), "overhead")
+        cost = self._issue_ps
+        if cost is None:
+            cost = self._issue_ps = env.latency.core_cycles(
+                self.issue_cycles())
+        yield from env.consume(cost, "overhead")
         req.proc = env.sim.process(
             self._recv_proc(env, req, raw_out, src),
             name=f"irecv[{env.rank}<-{src}]")
@@ -153,30 +164,43 @@ class NonBlockingLayer:
     # -- completion -----------------------------------------------------------
     def wait(self, env: CoreEnv, request: Request) -> Generator:
         """Block until ``request`` finishes; charges completion overhead."""
-        if not request.done:
-            yield from env.core.wait(request.proc, "wait_request")
+        proc = request.proc
+        if proc is None or not proc.triggered:
+            # Inline of Core.wait (waiting does not occupy the CPU).
+            sim = env.sim
+            t0 = sim._now
+            yield proc
+            env.core.account.states["wait_request"] += sim._now - t0
         if request.proc.failed and not request.cancelled:
             raise request.proc.value
         if not request.completed_charged:
             request.completed_charged = True
-            yield from env.consume(
-                env.latency.core_cycles(self.complete_cycles()), "overhead")
+            cost = self._complete_ps
+            if cost is None:
+                cost = self._complete_ps = env.latency.core_cycles(
+                    self.complete_cycles())
+            yield from env.consume(cost, "overhead")
         return request.result
 
     def wait_all(self, env: CoreEnv, requests: list[Request]) -> Generator:
         """Block until every request finishes (one synchronization point —
         the per-round wait of the relaxed ring, Fig. 5)."""
-        pending = [r.proc for r in requests if not r.done]
+        pending = [r.proc for r in requests if not r.proc.triggered]
         if pending:
-            yield from env.core.wait(env.sim.all_of(pending), "wait_request")
+            sim = env.sim
+            t0 = sim._now
+            yield AllOf(sim, pending)
+            env.core.account.states["wait_request"] += sim._now - t0
+        cost = self._complete_ps
+        if cost is None:
+            cost = self._complete_ps = env.latency.core_cycles(
+                self.complete_cycles())
         for request in requests:
             if request.proc.failed and not request.cancelled:
                 raise request.proc.value
             if not request.completed_charged:
                 request.completed_charged = True
-                yield from env.consume(
-                    env.latency.core_cycles(self.complete_cycles()),
-                    "overhead")
+                yield from env.consume(cost, "overhead")
         return [r.result for r in requests]
 
     def test(self, env: CoreEnv, request: Request) -> Generator:
@@ -212,21 +236,24 @@ class NonBlockingLayer:
         except Interrupt:
             lock.abandon(grant)
             return None
-        tracer.emit(env.now, f"core{env.core_id}", "send.begin", dst)
+        if tracer.enabled:
+            tracer.emit(env.now, f"core{env.core_id}", "send.begin", dst)
         try:
             yield from self._proto._send_body(env, raw, dst)
         except Interrupt:
             return None
         finally:
             lock.release()
-        tracer.emit(env.now, f"core{env.core_id}", "send.end", dst)
+        if tracer.enabled:
+            tracer.emit(env.now, f"core{env.core_id}", "send.end", dst)
         self._retire(env, "send")
         return None
 
     def _recv_proc(self, env: CoreEnv, req: Request, raw_out: np.ndarray,
                    src: int) -> Generator:
         tracer = self.machine.sim.tracer
-        tracer.emit(env.now, f"core{env.core_id}", "recv.begin", src)
+        if tracer.enabled:
+            tracer.emit(env.now, f"core{env.core_id}", "recv.begin", src)
         try:
             if src == ANY:
                 src = yield from self._match_any(env, req)
@@ -244,7 +271,8 @@ class NonBlockingLayer:
                 lock.release()
         except Interrupt:
             return None
-        tracer.emit(env.now, f"core{env.core_id}", "recv.end", src)
+        if tracer.enabled:
+            tracer.emit(env.now, f"core{env.core_id}", "recv.end", src)
         self._retire(env, "recv")
         return None
 

@@ -121,6 +121,14 @@ class RCCE:
 
     def __init__(self, machine: Machine):
         self.machine = machine
+        # Per-channel handle caches.  The flag/region helpers below build
+        # name strings on every call; the protocol bodies touch each
+        # channel once per message, so memoizing the handles here removes
+        # that per-message cost.  Flags are already memoized per machine
+        # (same objects), regions are stateless views.
+        self._buffers: dict[int, MPBRegion] = {}
+        self._sent: dict[tuple[int, int], Flag] = {}
+        self._ready: dict[tuple[int, int], Flag] = {}
 
     # ------------------------------------------------------------------ #
     def chunk_bytes(self) -> int:
@@ -133,11 +141,13 @@ class RCCE:
             raise RCCEError("RCCE cannot send to self")
         cfg = env.config
         tracer = self.machine.sim.tracer
-        tracer.emit(env.now, f"core{env.core_id}", "send.begin", dst)
+        if tracer.enabled:
+            tracer.emit(env.now, f"core{env.core_id}", "send.begin", dst)
         yield from env.consume(
             env.latency.core_cycles(cfg.rcce_send_call_cycles), "overhead")
         yield from self._send_body(env, as_bytes(data), dst)
-        tracer.emit(env.now, f"core{env.core_id}", "send.end", dst)
+        if tracer.enabled:
+            tracer.emit(env.now, f"core{env.core_id}", "send.end", dst)
 
     def recv(self, env: CoreEnv, out: np.ndarray, src: int) -> Generator:
         """Blocking receive into ``out`` from rank ``src``.
@@ -149,11 +159,13 @@ class RCCE:
             raise RCCEError("RCCE cannot receive from self")
         cfg = env.config
         tracer = self.machine.sim.tracer
-        tracer.emit(env.now, f"core{env.core_id}", "recv.begin", src)
+        if tracer.enabled:
+            tracer.emit(env.now, f"core{env.core_id}", "recv.begin", src)
         yield from env.consume(
             env.latency.core_cycles(cfg.rcce_recv_call_cycles), "overhead")
         yield from self._recv_body(env, out.view(np.uint8).reshape(-1), src)
-        tracer.emit(env.now, f"core{env.core_id}", "recv.end", src)
+        if tracer.enabled:
+            tracer.emit(env.now, f"core{env.core_id}", "recv.end", src)
         return out
 
     # -- protocol bodies (shared with the non-blocking layers) -------------
@@ -166,9 +178,16 @@ class RCCE:
         me_core = env.core_id
         dst_core = env.core_of_rank(dst)
         record_message(machine, me_core, dst_core, int(raw.size))
-        buf = comm_buffer(machine, me_core)
-        sent = sent_flag(machine, me_core, dst_core)
-        ready = ready_flag(machine, me_core, dst_core)
+        buf = self._buffers.get(me_core)
+        if buf is None:
+            buf = self._buffers[me_core] = comm_buffer(machine, me_core)
+        key = (me_core, dst_core)
+        sent = self._sent.get(key)
+        if sent is None:
+            sent = self._sent[key] = sent_flag(machine, me_core, dst_core)
+        ready = self._ready.get(key)
+        if ready is None:
+            ready = self._ready[key] = ready_flag(machine, me_core, dst_core)
         chunk = self.chunk_bytes()
         for start in range(0, raw.size, chunk) or [0]:
             piece = raw[start:start + chunk]
@@ -186,9 +205,16 @@ class RCCE:
         machine = self.machine
         me_core = env.core_id
         src_core = env.core_of_rank(src)
-        buf = comm_buffer(machine, src_core)
-        sent = sent_flag(machine, src_core, me_core)
-        ready = ready_flag(machine, src_core, me_core)
+        buf = self._buffers.get(src_core)
+        if buf is None:
+            buf = self._buffers[src_core] = comm_buffer(machine, src_core)
+        key = (src_core, me_core)
+        sent = self._sent.get(key)
+        if sent is None:
+            sent = self._sent[key] = sent_flag(machine, src_core, me_core)
+        ready = self._ready.get(key)
+        if ready is None:
+            ready = self._ready[key] = ready_flag(machine, src_core, me_core)
         chunk = self.chunk_bytes()
         for start in range(0, raw_out.size, chunk) or [0]:
             nbytes = min(chunk, raw_out.size - start)

@@ -54,10 +54,14 @@ def put_bytes(env: CoreEnv, region: MPBRegion, raw: np.ndarray,
     nbytes = int(raw.size)
     cost = (_call_overhead(env, nbytes)
             + env.latency.mpb_write_bytes(env.core_id, region.owner, nbytes))
-    faults = env.machine.faults
+    machine = env.machine
+    faults = machine.faults
     if faults is not None:
         cost += faults.mesh_extra_ps(env.core_id, region.owner)
-    yield from env.core.consume_at_mpb(region.owner, cost, "copy")
+    if machine.mpb_ports is None:
+        yield from env.core.consume(cost, "copy")
+    else:
+        yield from env.core.consume_at_mpb(region.owner, cost, "copy")
     region.write(raw, at=at, actor=env.core_id)
     if faults is not None:
         faults.maybe_corrupt(region, nbytes, at=at,
@@ -70,8 +74,12 @@ def get_bytes(env: CoreEnv, region: MPBRegion, nbytes: int,
     memory.  Returns the bytes as a fresh uint8 array."""
     cost = (_call_overhead(env, nbytes)
             + env.latency.mpb_read_bytes(env.core_id, region.owner, nbytes))
-    faults = env.machine.faults
+    machine = env.machine
+    faults = machine.faults
     if faults is not None:
         cost += faults.mesh_extra_ps(env.core_id, region.owner)
-    yield from env.core.consume_at_mpb(region.owner, cost, "copy")
+    if machine.mpb_ports is None:
+        yield from env.core.consume(cost, "copy")
+    else:
+        yield from env.core.consume_at_mpb(region.owner, cost, "copy")
     return region.read(nbytes, at=at, actor=env.core_id)

@@ -7,13 +7,27 @@ waiting generator via ``send``) or an exception (delivered via ``throw``).
 A :class:`Gate` is a *level*-triggered boolean used to model the SCC's MPB
 synchronization flags: it can be set and cleared repeatedly, and hands out
 fresh one-shot events to processes that want to wait for a particular level.
+
+Hot-path layout
+---------------
+A collective simulation allocates one event per protocol step (hundreds of
+thousands per sweep point), and the overwhelmingly common shape is *one
+callback per event* (the waiting process).  The callback storage is
+therefore split into an inline first-callback slot (``_cb1``) plus a list
+that is only allocated for the rare second subscriber, and triggering
+pushes straight onto the simulator's heap instead of going through
+:meth:`Simulator._schedule`.  Dispatch order is exactly registration
+order, so virtual time is bit-identical to the straightforward
+list-of-callbacks implementation (``tests/bench/test_kernel_identity.py``
+pins this).
 """
 
 from __future__ import annotations
 
+from heapq import heappush as _heappush
 from typing import TYPE_CHECKING, Any, Callable, Iterable, Optional
 
-from repro.sim.errors import StaleEventError
+from repro.sim.errors import SimulationError, StaleEventError
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.sim.engine import Simulator
@@ -42,12 +56,16 @@ class Event:
     resumed).
     """
 
-    __slots__ = ("sim", "callbacks", "_value", "_failed", "triggered",
-                 "processed", "label")
+    __slots__ = ("sim", "_cb1", "callbacks", "_value", "_failed",
+                 "triggered", "processed", "label")
 
     def __init__(self, sim: "Simulator"):
         self.sim = sim
-        self.callbacks: Optional[list[Callable[["Event"], None]]] = []
+        #: First registered callback (inline slot; most events never need
+        #: the overflow list below).
+        self._cb1: Optional[Callable[["Event"], None]] = None
+        #: Overflow callbacks, in registration order (lazily allocated).
+        self.callbacks: Optional[list[Callable[["Event"], None]]] = None
         self._value: Any = _PENDING
         self._failed = False
         self.triggered = False
@@ -77,9 +95,14 @@ class Event:
         """Mark the event successful; waiters resume ``delay`` ps later."""
         if self.triggered:
             raise StaleEventError(f"{self!r} has already been triggered")
+        if delay < 0:
+            raise SimulationError(
+                f"cannot schedule into the past (delay={delay})")
         self.triggered = True
         self._value = value
-        self.sim._schedule(self, delay)
+        sim = self.sim
+        _heappush(sim._heap, (sim._now + delay, sim._seq, self))
+        sim._seq += 1
         return self
 
     def fail(self, exception: BaseException, delay: int = 0) -> "Event":
@@ -101,17 +124,25 @@ class Event:
         immediately (synchronously) — this is what makes waiting on an
         already-completed request a no-op in simulated time.
         """
-        if self.callbacks is None:
+        if self.processed:
             callback(self)
+        elif self._cb1 is None:
+            self._cb1 = callback
+        elif self.callbacks is None:
+            self.callbacks = [callback]
         else:
             self.callbacks.append(callback)
 
     def _process(self) -> None:
-        callbacks, self.callbacks = self.callbacks, None
         self.processed = True
-        if callbacks:
-            for callback in callbacks:
-                callback(self)
+        callback = self._cb1
+        if callback is not None:
+            self._cb1 = None
+            callback(self)
+            callbacks, self.callbacks = self.callbacks, None
+            if callbacks:
+                for callback in callbacks:
+                    callback(self)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "processed" if self.processed else (
@@ -121,18 +152,31 @@ class Event:
 
 
 class Timeout(Event):
-    """An event that fires ``delay`` picoseconds after creation."""
+    """An event that fires ``delay`` picoseconds after creation.
+
+    The constructor writes the event slots directly (no ``super()`` chain)
+    and pushes itself onto the heap inline: timeouts are the single most
+    allocated event type, one per modeled latency charge.
+    """
 
     __slots__ = ("delay",)
 
     def __init__(self, sim: "Simulator", delay: int, value: Any = None):
+        if delay.__class__ is not int:
+            delay = int(delay)
         if delay < 0:
             raise ValueError(f"negative timeout delay: {delay}")
-        super().__init__(sim)
-        self.delay = delay
-        self.triggered = True
+        self.sim = sim
+        self._cb1 = None
+        self.callbacks = None
         self._value = value
-        sim._schedule(self, delay)
+        self._failed = False
+        self.triggered = True
+        self.processed = False
+        self.label = None
+        self.delay = delay
+        _heappush(sim._heap, (sim._now + delay, sim._seq, self))
+        sim._seq += 1
 
 
 class ConditionValue:
@@ -163,15 +207,15 @@ class _Condition(Event):
         self.events = list(events)
         self.label = (type(self).__name__.lower(),
                       f"{len(self.events)} events")
-        for event in self.events:
-            if event.sim is not sim:
-                raise ValueError("cannot mix events from different simulators")
         self._count = 0
         if not self.events:
             self.succeed(ConditionValue([]))
             return
+        on_child = self._on_child
         for event in self.events:
-            event.add_callback(self._on_child)
+            if event.sim is not sim:
+                raise ValueError("cannot mix events from different simulators")
+            event.add_callback(on_child)
 
     def _on_child(self, event: Event) -> None:
         if self.triggered:
@@ -216,7 +260,8 @@ class Gate:
     being written by one core and the polling core observing the new value.
     """
 
-    __slots__ = ("sim", "name", "_value", "_true_waiters", "_false_waiters")
+    __slots__ = ("sim", "name", "_value", "_true_waiters", "_false_waiters",
+                 "_label_true", "_label_false")
 
     def __init__(self, sim: "Simulator", value: bool = False, name: str = ""):
         self.sim = sim
@@ -224,6 +269,10 @@ class Gate:
         self._value = bool(value)
         self._true_waiters: list[tuple[Event, int]] = []
         self._false_waiters: list[tuple[Event, int]] = []
+        # Wait events are labeled per gate; building the tuples once here
+        # keeps the per-wait cost to two slot writes.
+        self._label_true = ("wait_true", name or "<gate>")
+        self._label_false = ("wait_false", name or "<gate>")
 
     @property
     def value(self) -> bool:
@@ -232,16 +281,20 @@ class Gate:
     def set(self) -> None:
         if not self._value:
             self._value = True
-            waiters, self._true_waiters = self._true_waiters, []
-            for event, extra in waiters:
-                event.succeed(True, delay=extra)
+            waiters = self._true_waiters
+            if waiters:
+                self._true_waiters = []
+                for event, extra in waiters:
+                    event.succeed(True, delay=extra)
 
     def clear(self) -> None:
         if self._value:
             self._value = False
-            waiters, self._false_waiters = self._false_waiters, []
-            for event, extra in waiters:
-                event.succeed(False, delay=extra)
+            waiters = self._false_waiters
+            if waiters:
+                self._false_waiters = []
+                for event, extra in waiters:
+                    event.succeed(False, delay=extra)
 
     def toggle(self) -> None:
         if self._value:
@@ -256,7 +309,7 @@ class Gate:
         waiter resuming (models the final successful poll's read latency).
         """
         event = Event(self.sim)
-        event.label = ("wait_true", self.name or "<gate>")
+        event.label = self._label_true
         if self._value:
             event.succeed(True, delay=notify_delay)
         else:
@@ -265,7 +318,7 @@ class Gate:
 
     def wait_false(self, notify_delay: int = 0) -> Event:
         event = Event(self.sim)
-        event.label = ("wait_false", self.name or "<gate>")
+        event.label = self._label_false
         if not self._value:
             event.succeed(False, delay=notify_delay)
         else:

@@ -5,7 +5,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Any, Generator
 
 from repro.sim.errors import SimulationError
-from repro.sim.events import Event, Interrupt
+from repro.sim.events import Event, Interrupt, Timeout
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.sim.engine import Simulator
@@ -21,14 +21,15 @@ class Process(Event):
     the generator's return value, so processes can wait on each other.
 
     ``interrupt()`` abandons the current wait and throws
-    :class:`~repro.sim.events.Interrupt` into the generator.  A wait is
-    identified by an epoch counter, so a wakeup from an abandoned event is
-    recognised as stale and ignored even if it fires at the same simulated
+    :class:`~repro.sim.events.Interrupt` into the generator.  The process
+    registers *itself* as the awaited event's callback (no per-wait closure
+    allocation); a wakeup is recognised as current by identity — the firing
+    event must still be :attr:`waiting_on` — so a wakeup from an abandoned
+    event is stale and ignored even if it fires at the same simulated
     instant as the interrupt.
     """
 
-    __slots__ = ("generator", "name", "_epoch", "_waiting",
-                 "waiting_on", "wait_since")
+    __slots__ = ("generator", "name", "_waiting", "waiting_on", "wait_since")
 
     def __init__(self, sim: "Simulator", generator: Generator, name: str = ""):
         if not hasattr(generator, "send") or not hasattr(generator, "throw"):
@@ -39,12 +40,12 @@ class Process(Event):
         super().__init__(sim)
         self.generator = generator
         self.name = name or getattr(generator, "__name__", "") or "process"
-        self._epoch = 0
         self._waiting = False
-        #: The event this process is currently parked on (diagnostics).
+        #: The event this process is currently parked on (diagnostics and
+        #: stale-wakeup detection).
         self.waiting_on: Event | None = None
         #: Simulated time at which the current wait began.
-        self.wait_since: int = sim.now
+        self.wait_since: int = sim._now
         # Bootstrap: resume once at the current instant.
         self._wait_on(Event(sim).succeed())
 
@@ -60,7 +61,8 @@ class Process(Event):
             raise SimulationError(
                 f"cannot interrupt process {self.name} that is not waiting"
             )
-        self._epoch += 1  # invalidate the abandoned wait
+        # _wait_on repoints waiting_on at the kick event, which invalidates
+        # the abandoned wait: its later firing fails the identity check.
         kick = Event(self.sim)
         kick.fail(Interrupt(cause))
         self._wait_on(kick)
@@ -68,35 +70,55 @@ class Process(Event):
     def _wait_on(self, event: Event) -> None:
         self._waiting = True
         self.waiting_on = event
-        self.wait_since = self.sim.now
-        epoch = self._epoch
-        event.add_callback(lambda ev: self._resume(ev, epoch))
+        self.wait_since = self.sim._now
+        if event.processed:
+            event.add_callback(self)
+        elif event._cb1 is None:
+            event._cb1 = self
+        elif event.callbacks is None:
+            event.callbacks = [self]
+        else:
+            event.callbacks.append(self)
 
-    def _resume(self, event: Event, epoch: int) -> None:
-        if self.triggered or epoch != self._epoch:
+    def __call__(self, event: Event) -> None:
+        """Resume from ``event`` (the process is its own wakeup callback)."""
+        if self.triggered or event is not self.waiting_on:
             return  # stale wakeup from an abandoned wait
-        self._epoch += 1
         self._waiting = False
         try:
-            if event.failed:
+            if event._failed:
                 next_event = self.generator.throw(event._value)
             else:
-                next_event = self.generator.send(
-                    event._value if event._value is not None else None
-                )
+                next_event = self.generator.send(event._value)
         except StopIteration as stop:
+            self.sim._processes.pop(id(self), None)
             self.succeed(stop.value)
             return
         except BaseException as exc:
+            self.sim._processes.pop(id(self), None)
             self.fail(exc)
             return
-        if not isinstance(next_event, Event):
+        cls = next_event.__class__
+        if cls is not Timeout and cls is not Event and \
+                not isinstance(next_event, Event):
+            self.sim._processes.pop(id(self), None)
             self.fail(SimulationError(
                 f"process {self.name!r} yielded {next_event!r}; "
                 "processes may only yield Event instances"
             ))
             return
-        self._wait_on(next_event)
+        self._waiting = True
+        self.waiting_on = next_event
+        self.wait_since = self.sim._now
+        # Inline add_callback (one call per dispatched event saved).
+        if next_event.processed:
+            next_event.add_callback(self)
+        elif next_event._cb1 is None:
+            next_event._cb1 = self
+        elif next_event.callbacks is None:
+            next_event.callbacks = [self]
+        else:
+            next_event.callbacks.append(self)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "done" if self.triggered else "alive"

@@ -23,13 +23,16 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 class FifoLock:
     """A mutex granting access in strict request order."""
 
-    __slots__ = ("sim", "name", "_locked", "_queue")
+    __slots__ = ("sim", "name", "_locked", "_queue", "_label")
 
     def __init__(self, sim: "Simulator", name: str = ""):
         self.sim = sim
         self.name = name
         self._locked = False
         self._queue: deque[Event] = deque()
+        # Built once: every acquire event carries this label, and locks are
+        # acquired once per consume() that misses the try_acquire fast path.
+        self._label = ("acquire", name or "<lock>")
 
     @property
     def locked(self) -> bool:
@@ -42,7 +45,7 @@ class FifoLock:
     def acquire(self) -> Event:
         """Event that fires when the caller holds the lock."""
         event = Event(self.sim)
-        event.label = ("acquire", self.name or "<lock>")
+        event.label = self._label
         if not self._locked and not self._queue:
             self._locked = True
             event.succeed()
@@ -98,7 +101,7 @@ class Semaphore:
     ``release()``s it after draining.
     """
 
-    __slots__ = ("sim", "name", "_count", "_queue")
+    __slots__ = ("sim", "name", "_count", "_queue", "_label")
 
     def __init__(self, sim: "Simulator", initial: int, name: str = ""):
         if initial < 0:
@@ -107,6 +110,7 @@ class Semaphore:
         self.name = name
         self._count = initial
         self._queue: deque[Event] = deque()
+        self._label = ("acquire", name or "<semaphore>")
 
     @property
     def count(self) -> int:
@@ -114,7 +118,7 @@ class Semaphore:
 
     def acquire(self) -> Event:
         event = Event(self.sim)
-        event.label = ("acquire", self.name or "<semaphore>")
+        event.label = self._label
         if self._count > 0 and not self._queue:
             self._count -= 1
             event.succeed()

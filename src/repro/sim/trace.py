@@ -13,6 +13,7 @@ Two facilities:
 
 from __future__ import annotations
 
+from collections import defaultdict
 from dataclasses import dataclass, field
 from typing import Any, Iterator, Optional
 
@@ -70,7 +71,11 @@ class TimeAccount:
     ``copy``, ``wait_flag``, ``wait_request`` and ``overhead``.
     """
 
-    states: dict[str, int] = field(default_factory=dict)
+    #: ``defaultdict(int)`` so hot paths can do ``states[state] += d``
+    #: (one C-level hash probe) instead of a ``get``-then-store pair.
+    #: Only states that were actually charged appear as keys, exactly as
+    #: with a plain dict.
+    states: dict[str, int] = field(default_factory=lambda: defaultdict(int))
 
     def add(self, state: str, duration_ps: int) -> None:
         if duration_ps < 0:

@@ -1,0 +1,43 @@
+"""Bit-identity golden pins for the slimmed simulator kernel.
+
+The event-loop optimizations (inline first-callback slots, direct heap
+pushes, ``Timeout.__init__`` writing its slots without the ``super()``
+chain, the GC pause, the per-channel lock caches) are pure wall-clock
+work: they must not move virtual time or the event count by a single
+unit.  These tests pin both for representative collectives — any kernel
+change that alters dispatch order, event accounting, or modeled latency
+shows up here as an exact-value mismatch, not a tolerance creep.
+
+The constants were produced by the straightforward pre-optimization
+kernel and re-verified against the slimmed one; sizes 553/554 exercise
+the padded-tail path (RCCE's extra put/get call, the paper's period-4
+spikes).
+"""
+
+import pytest
+
+from repro.bench.wallclock import kernel_events_metric
+
+#: (stack, size) -> (events processed, simulated elapsed microseconds).
+GOLDEN = {
+    ("lightweight_balanced", 552): (104529, 1186.929),
+    ("lightweight_balanced", 554): (104561, 1185.517),
+    ("blocking", 552): (47899, 2987.329),
+    ("ircce", 552): (107692, 2461.687),
+}
+
+
+@pytest.mark.parametrize("stack,size", sorted(GOLDEN))
+def test_kernel_bit_identity(stack, size):
+    metric = kernel_events_metric(stack=stack, size=size, cores=48,
+                                  repeats=1)
+    events, simulated_us = GOLDEN[(stack, size)]
+    assert metric["events"] == events
+    assert metric["simulated_us"] == pytest.approx(simulated_us, abs=0.001)
+
+
+def test_kernel_is_deterministic_across_repeats():
+    a = kernel_events_metric(size=552, cores=48, repeats=1)
+    b = kernel_events_metric(size=552, cores=48, repeats=1)
+    assert a["events"] == b["events"]
+    assert a["simulated_us"] == b["simulated_us"]

@@ -73,6 +73,36 @@ class TestCliCoverage:
         assert check_docs.main(["--cli"]) == 0
 
 
+class TestCliFlagCoverage:
+    def test_all_flags_documented(self):
+        assert check_docs.check_cli_flags() == []
+
+    def test_introspects_the_real_parser(self):
+        flags = check_docs.cli_flags()
+        assert "--engine" in flags["sweep"]
+        assert "--engine" in flags["bench"]
+        assert "--jobs" in flags["bench"]
+        assert all("--help" not in longs for longs in flags.values())
+
+    def test_detects_undocumented_flag(self, tmp_path, monkeypatch):
+        docs = tmp_path / "docs"
+        docs.mkdir()
+        # A reference that names every flag except --engine.
+        documented = {
+            flag
+            for longs in check_docs.cli_flags().values()
+            for flag in longs if flag != "--engine"
+        }
+        (docs / "api.md").write_text(" ".join(sorted(documented)) + "\n")
+        monkeypatch.setattr(check_docs, "REPO_ROOT", str(tmp_path))
+        failures = check_docs.check_cli_flags()
+        assert failures
+        assert all("'--engine'" in f for f in failures)
+
+    def test_cli_entrypoint(self, capsys):
+        assert check_docs.main(["--cli-flags"]) == 0
+
+
 @pytest.mark.skipif(os.environ.get("REPRO_SKIP_EXAMPLE_SMOKE") == "1",
                     reason="example smoke runs disabled by env")
 class TestExamplesSmoke:

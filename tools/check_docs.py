@@ -15,11 +15,15 @@ Two checks, both wired into the test suite (``tests/test_docs_check.py``):
   ``repro.cli.build_parser``) must appear as ``python -m repro <name>``
   in ``docs/api.md``, so the command-line reference can never silently
   fall behind the parser.
+* ``--cli-flags`` — every long option of every subcommand (again
+  introspected from the live parser, so e.g. ``--engine`` is covered the
+  moment it is added) must appear literally in ``docs/api.md``.
+  ``--help`` is exempt.
 
 Exit status: 0 when everything passes, 1 otherwise.
 
 Run:  python tools/check_docs.py [--links] [--examples] [--cli]
-      [--verbose]
+      [--cli-flags] [--verbose]
 """
 
 from __future__ import annotations
@@ -125,6 +129,56 @@ def cli_subcommands() -> list[str]:
     return []
 
 
+def cli_flags() -> dict[str, list[str]]:
+    """subcommand -> sorted long options, introspected from the parser."""
+    src = os.path.join(REPO_ROOT, "src")
+    if src not in sys.path:
+        sys.path.insert(0, src)
+    from repro.cli import build_parser
+
+    parser = build_parser()
+    flags: dict[str, list[str]] = {}
+    for action in parser._actions:
+        if not isinstance(action, argparse._SubParsersAction):
+            continue
+        for name, sub in action.choices.items():
+            longs = set()
+            for sub_action in sub._actions:
+                for opt in sub_action.option_strings:
+                    if opt.startswith("--") and opt != "--help":
+                        longs.add(opt)
+            flags[name] = sorted(longs)
+    return flags
+
+
+def check_cli_flags(verbose: bool = False) -> list[str]:
+    """Every subcommand's long options must appear in docs/api.md.
+
+    The check is for the literal flag text (e.g. ``--engine``) anywhere
+    in the file — the reference is organised per subcommand, but flags
+    shared across subcommands (``--jobs``, ``--cores``) are documented
+    once, so a per-section match would demand duplication for no reader
+    benefit.
+    """
+    api = os.path.join(REPO_ROOT, "docs", "api.md")
+    with open(api) as fh:
+        text = fh.read()
+    failures = []
+    checked = 0
+    for name, longs in sorted(cli_flags().items()):
+        for flag in longs:
+            checked += 1
+            if flag not in text:
+                failures.append(
+                    f"docs/api.md: flag {flag!r} of subcommand {name!r} "
+                    f"undocumented (expected the literal text '{flag}')")
+            elif verbose:
+                print(f"ok   docs/api.md: {name} {flag}")
+    print(f"cli-flags: {checked} long options checked against "
+          f"docs/api.md, {len(failures)} undocumented")
+    return failures
+
+
 def check_cli(verbose: bool = False) -> list[str]:
     """Every CLI subcommand must be documented in docs/api.md."""
     api = os.path.join(REPO_ROOT, "docs", "api.md")
@@ -153,16 +207,21 @@ def main(argv=None) -> int:
                         help="run examples/*.py with --smoke")
     parser.add_argument("--cli", action="store_true",
                         help="check CLI subcommand coverage in docs/api.md")
+    parser.add_argument("--cli-flags", action="store_true",
+                        dest="cli_flags",
+                        help="check CLI long-option coverage in docs/api.md")
     parser.add_argument("--verbose", action="store_true")
     args = parser.parse_args(argv)
-    if not args.links and not args.examples and not args.cli:
-        args.links = args.cli = True  # default checks
+    if not (args.links or args.examples or args.cli or args.cli_flags):
+        args.links = args.cli = args.cli_flags = True  # default checks
 
     failures = []
     if args.links:
         failures += check_links(args.verbose)
     if args.cli:
         failures += check_cli(args.verbose)
+    if args.cli_flags:
+        failures += check_cli_flags(args.verbose)
     if args.examples:
         failures += check_examples(args.verbose)
     for failure in failures:
