@@ -87,7 +87,8 @@ class GCMCResult:
 def _short_en(env: CoreEnv, comm: Communicator, cfg: GCMCConfig,
               system: ParticleSystem, slot: Optional[int] = None,
               pos: Optional[np.ndarray] = None,
-              charge: Optional[float] = None) -> Generator:
+              charge: Optional[float] = None,
+              algo: Optional[str] = None) -> Generator:
     """Distributed ShortEn: of an existing particle (``slot``) or of a
     virtual insertion at ``pos``/``charge``."""
     if slot is not None:
@@ -98,13 +99,13 @@ def _short_en(env: CoreEnv, comm: Communicator, cfg: GCMCConfig,
                                                 env.rank, env.size)
     yield from env.compute(cfg.cycles_energy_base
                            + pairs * cfg.cycles_per_pair)
-    total = yield from comm.allreduce(env, np.array([e_local]))
+    total = yield from comm.allreduce(env, np.array([e_local]), algo=algo)
     return float(total[0])
 
 
 def _long_en(env: CoreEnv, comm: Communicator, cfg: GCMCConfig,
              system: ParticleSystem, kvecs: np.ndarray,
-             coeff: np.ndarray) -> Generator:
+             coeff: np.ndarray, algo: Optional[str] = None) -> Generator:
     """Distributed LongEn (Algorithm 2): local structure factor, 552-double
     Allreduce, then the |F|^2 energy sum."""
     f_local, n_local = local_structure_factor(system, kvecs, env.rank,
@@ -113,7 +114,7 @@ def _long_en(env: CoreEnv, comm: Communicator, cfg: GCMCConfig,
         cfg.cycles_energy_base
         + n_local * len(kvecs) * cfg.cycles_per_kvec_term)
     packed = pack_complex(f_local)
-    total = yield from comm.allreduce(env, packed)
+    total = yield from comm.allreduce(env, packed, algo=algo)
     f_total = unpack_complex(total)
     yield from env.compute(len(kvecs) * cfg.cycles_per_kvec_energy)
     return reciprocal_energy(f_total, coeff, cfg.volume)
@@ -121,7 +122,8 @@ def _long_en(env: CoreEnv, comm: Communicator, cfg: GCMCConfig,
 
 def _initial_energy(env: CoreEnv, comm: Communicator, cfg: GCMCConfig,
                     system: ParticleSystem, kvecs: np.ndarray,
-                    coeff: np.ndarray) -> Generator:
+                    coeff: np.ndarray,
+                    algo: Optional[str] = None) -> Generator:
     """Distributed full energy: short pairs + self terms + reciprocal."""
     idx = system.active_indices()
     local = system.local_indices(env.rank, env.size)
@@ -138,8 +140,9 @@ def _initial_energy(env: CoreEnv, comm: Communicator, cfg: GCMCConfig,
     yield from env.compute(cfg.cycles_energy_base
                            + pairs * cfg.cycles_per_pair)
     partial = np.array([e_short, e_self])
-    total = yield from comm.allreduce(env, partial)
-    e_long = yield from _long_en(env, comm, cfg, system, kvecs, coeff)
+    total = yield from comm.allreduce(env, partial, algo=algo)
+    e_long = yield from _long_en(env, comm, cfg, system, kvecs, coeff,
+                                 algo=algo)
     return float(total[0] + total[1]) + e_long
 
 
@@ -151,7 +154,8 @@ def _gcmc_cycle(env: CoreEnv, comm: Communicator, cfg: GCMCConfig,
                 system: ParticleSystem, kvecs: np.ndarray,
                 coeff: np.ndarray, shared_rng: np.random.Generator,
                 owner_rng: np.random.Generator, en_old: float,
-                obs: Observables) -> Generator:
+                obs: Observables,
+                algo: Optional[str] = None) -> Generator:
     """Returns the new ``en_old`` after accept/reject."""
     p = env.size
     active = system.active_indices()
@@ -165,10 +169,12 @@ def _gcmc_cycle(env: CoreEnv, comm: Communicator, cfg: GCMCConfig,
         removed_self = 0.0
     else:
         slot = choose_slot(shared_rng, active)
-        removed_short = yield from _short_en(env, comm, cfg, system, slot)
+        removed_short = yield from _short_en(env, comm, cfg, system, slot,
+                                             algo=algo)
         removed_self = (self_energy(float(system.charges[slot]), cfg.alpha)
                         if action == Action.DELETE else 0.0)
-    removed_long = yield from _long_en(env, comm, cfg, system, kvecs, coeff)
+    removed_long = yield from _long_en(env, comm, cfg, system, kvecs, coeff,
+                                       algo=algo)
     en_new = en_old - removed_short - removed_self - removed_long
 
     # --- lines 6-7: save config, do the move (owner proposes) ----------
@@ -205,10 +211,11 @@ def _gcmc_cycle(env: CoreEnv, comm: Communicator, cfg: GCMCConfig,
         added_self = 0.0
     else:
         added_short = yield from _short_en(env, comm, cfg, system,
-                                           proposal.slot)
+                                           proposal.slot, algo=algo)
         added_self = (self_energy(proposal.charge, cfg.alpha)
                       if proposal.action == Action.INSERT else 0.0)
-    added_long = yield from _long_en(env, comm, cfg, system, kvecs, coeff)
+    added_long = yield from _long_en(env, comm, cfg, system, kvecs, coeff,
+                                     algo=algo)
     en_new = en_new + added_short + added_self + added_long
 
     # --- lines 9-12: accept or reject (shared stream) ------------------
@@ -241,8 +248,15 @@ def _gcmc_cycle(env: CoreEnv, comm: Communicator, cfg: GCMCConfig,
 # --------------------------------------------------------------------- #
 
 def gcmc_program(env: CoreEnv, comm: Communicator, cfg: GCMCConfig,
-                 cycles: int) -> Generator:
-    """Algorithm 1, run by every rank."""
+                 cycles: int, algo: Optional[str] = None) -> Generator:
+    """Algorithm 1, run by every rank.
+
+    ``algo`` forces one Allreduce algorithm for every energy reduction
+    (``rsag``, ``recursive_doubling``, ``sched:<builder>``, ...) instead
+    of the stack's size-based selection — the hook the ensemble
+    verification layer uses to put *non-default* collective algorithms
+    under the statistical correctness gate.
+    """
     system = ParticleSystem(cfg)
     kvecs, coeff = build_kvectors(cfg.n_kvectors, cfg.box, cfg.alpha)
     shared_rng = np.random.default_rng(cfg.seed)
@@ -250,11 +264,12 @@ def gcmc_program(env: CoreEnv, comm: Communicator, cfg: GCMCConfig,
         np.random.SeedSequence(entropy=cfg.seed, spawn_key=(env.rank + 1,)))
     obs = Observables()
     yield from comm.barrier(env)
-    en_old = yield from _initial_energy(env, comm, cfg, system, kvecs, coeff)
+    en_old = yield from _initial_energy(env, comm, cfg, system, kvecs,
+                                        coeff, algo=algo)
     for _cycle in range(cycles):
         en_old = yield from _gcmc_cycle(env, comm, cfg, system, kvecs,
                                         coeff, shared_rng, owner_rng,
-                                        en_old, obs)
+                                        en_old, obs, algo=algo)
     return GCMCResult(
         observables=obs,
         final_energy=en_old,
@@ -264,10 +279,19 @@ def gcmc_program(env: CoreEnv, comm: Communicator, cfg: GCMCConfig,
 
 
 def run_gcmc(machine: Machine, comm: Communicator, cfg: GCMCConfig,
-             cycles: int) -> GCMCResult:
+             cycles: int, *, ranks: Optional[list[int]] = None,
+             allreduce_algo: Optional[str] = None,
+             watchdog_ps: Optional[int] = None) -> GCMCResult:
     """Launch the application on the machine; returns rank 0's result with
-    timing attached.  Raises if ranks disagree on the physics."""
-    spmd = machine.run_spmd(gcmc_program, comm, cfg, cycles)
+    timing attached.  Raises if ranks disagree on the physics.
+
+    ``ranks`` restricts the job to a subset of cores (default: the whole
+    chip), ``allreduce_algo`` forces one Allreduce algorithm for every
+    energy reduction, and ``watchdog_ps`` bounds the virtual time (see
+    :meth:`~repro.hw.machine.Machine.run_spmd`).
+    """
+    spmd = machine.run_spmd(gcmc_program, comm, cfg, cycles, allreduce_algo,
+                            ranks=ranks, watchdog_ps=watchdog_ps)
     results: list[GCMCResult] = spmd.values
     head = results[0]
     for rank, other in enumerate(results[1:], start=1):

@@ -8,28 +8,39 @@ from dataclasses import dataclass, field
 
 @dataclass
 class Observables:
-    """Accumulates per-cycle samples of the GCMC run."""
+    """Accumulates per-cycle samples of the GCMC run.
+
+    The energy mean/variance use a Welford accumulator rather than
+    running ``sum``/``sum-of-squares``: GCMC energies are large
+    (hundreds) with small fluctuations (order one), exactly the regime
+    where the textbook ``E[x^2] - E[x]^2`` form loses every significant
+    digit to catastrophic cancellation on long runs.
+    """
 
     samples: int = 0
     accepted: int = 0
-    energy_sum: float = 0.0
-    energy_sq_sum: float = 0.0
     particles_sum: float = 0.0
-    by_action: dict = field(default_factory=dict)
+    #: Welford running mean of the per-cycle energy.
+    energy_mean_acc: float = 0.0
+    #: Welford sum of squared deviations from the running mean.
+    energy_m2: float = 0.0
+    by_action: dict[str, dict[str, int]] = field(default_factory=dict)
     #: Full per-cycle energy series (kept for block-averaged error bars;
     #: GCMC production runs here are short enough that this is cheap).
-    energy_series: list = field(default_factory=list)
+    energy_series: list[float] = field(default_factory=list)
 
     def record(self, energy: float, n_particles: int, action: str,
                accepted: bool) -> None:
         self.samples += 1
-        self.energy_sum += energy
-        self.energy_sq_sum += energy * energy
+        delta = energy - self.energy_mean_acc
+        self.energy_mean_acc += delta / self.samples
+        self.energy_m2 += delta * (energy - self.energy_mean_acc)
         self.particles_sum += n_particles
         self.energy_series.append(energy)
         if accepted:
             self.accepted += 1
-        stats = self.by_action.setdefault(action, {"tried": 0, "accepted": 0})
+        stats = self.by_action.setdefault(action,
+                                          {"tried": 0, "accepted": 0})
         stats["tried"] += 1
         if accepted:
             stats["accepted"] += 1
@@ -58,14 +69,14 @@ class Observables:
 
     @property
     def mean_energy(self) -> float:
-        return self.energy_sum / self.samples if self.samples else 0.0
+        return self.energy_mean_acc if self.samples else 0.0
 
     @property
     def energy_variance(self) -> float:
+        """Population variance of the energy series (Welford ``M2/n``)."""
         if self.samples == 0:
             return 0.0
-        mean = self.mean_energy
-        return max(0.0, self.energy_sq_sum / self.samples - mean * mean)
+        return self.energy_m2 / self.samples
 
     @property
     def mean_particles(self) -> float:
@@ -74,6 +85,12 @@ class Observables:
     @property
     def acceptance_ratio(self) -> float:
         return self.accepted / self.samples if self.samples else 0.0
+
+    def action_counts(self, action: str) -> dict[str, int]:
+        """``{"tried": ..., "accepted": ...}`` for one move type (zeros
+        for move types the run never attempted)."""
+        return dict(self.by_action.get(action,
+                                       {"tried": 0, "accepted": 0}))
 
     def summary(self) -> dict:
         return {

@@ -279,6 +279,28 @@ def _pool_context() -> multiprocessing.context.BaseContext:
     return multiprocessing.get_context()
 
 
+def parallel_map(fn, items: Sequence, *, jobs: Optional[int] = None) -> list:
+    """Order-preserving fork-pool map — the bench fan-out, reusable.
+
+    ``fn`` must be a module-level callable (it crosses process
+    boundaries) and every item an independent, deterministic unit of
+    work; results come back in submission order, so the output is
+    bit-identical to ``[fn(x) for x in items]`` at any job count.
+    ``jobs=None`` reads ``REPRO_BENCH_JOBS`` (default 1); ``0`` means
+    all CPUs.  Used by :func:`run_sweep` for sweep points and by
+    :mod:`repro.ensemble` for GCMC ensemble members.
+    """
+    items = list(items)
+    jobs = default_jobs() if jobs is None else (jobs or (os.cpu_count() or 1))
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    if jobs > 1 and len(items) > 1:
+        ctx = _pool_context()
+        with ctx.Pool(processes=min(jobs, len(items))) as pool:
+            return pool.map(fn, items, chunksize=1)
+    return [fn(item) for item in items]
+
+
 def run_sweep(points: Sequence[SweepPoint], *,
               jobs: Optional[int] = None,
               cache: Union[ResultCache, bool, None] = None,
@@ -370,12 +392,7 @@ def run_sweep(points: Sequence[SweepPoint], *,
 
     if pending:
         todo = [points[i] for i in pending]
-        if jobs > 1 and len(todo) > 1:
-            ctx = _pool_context()
-            with ctx.Pool(processes=min(jobs, len(todo))) as pool:
-                fresh = pool.map(_execute_point, todo, chunksize=1)
-        else:
-            fresh = [_execute_point(point) for point in todo]
+        fresh = parallel_map(_execute_point, todo, jobs=jobs)
         for i, value in zip(pending, fresh):
             sim_values[i] = value
             if store is not None:

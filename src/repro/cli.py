@@ -221,16 +221,31 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     from repro.faults.campaign import (
         CHAOS_KINDS,
         CHAOS_PROFILES,
+        GCMC_CHAOS_STACKS,
         run_campaign,
+        run_gcmc_campaign,
         run_trial,
     )
 
     kinds = tuple(args.kinds) if args.kinds else CHAOS_KINDS
-    stacks = tuple(args.stacks) if args.stacks else tuple(STACKS)
     seeds = _parse_seeds(args.seeds)
-    camp = run_campaign(profile=args.profile, kinds=kinds, stacks=stacks,
-                        seeds=seeds, size=args.size, cores=args.cores,
-                        iters=args.iters, watchdog_us=args.watchdog_us)
+    if args.app == "gcmc":
+        import pathlib
+
+        from repro.ensemble.summary import EnsembleSummary
+
+        stacks = (tuple(args.stacks) if args.stacks
+                  else GCMC_CHAOS_STACKS)
+        summary = EnsembleSummary.load(
+            pathlib.Path(args.summary) if args.summary else None)
+        camp = run_gcmc_campaign(summary, profile=args.profile,
+                                 stacks=stacks, seeds=seeds)
+    else:
+        stacks = tuple(args.stacks) if args.stacks else tuple(STACKS)
+        camp = run_campaign(profile=args.profile, kinds=kinds,
+                            stacks=stacks, seeds=seeds, size=args.size,
+                            cores=args.cores, iters=args.iters,
+                            watchdog_us=args.watchdog_us)
     print(camp.survival_table())
     print()
     print("injected faults:",
@@ -239,7 +254,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     for t in camp.failures():
         print(f"CONTRACT VIOLATION: {t.kind}/{t.stack} seed={t.seed} "
               f"-> {t.outcome}: {t.detail}")
-    if args.trace_out:
+    if args.trace_out and args.app == "collectives":
         import os
 
         from repro.faults.plan import FaultPlan
@@ -338,6 +353,106 @@ def _cmd_paper(args: argparse.Namespace) -> int:
     result = fig10(cycles=args.cycles)
     print(result.render())
     return 0
+
+
+def _cmd_ensemble_summarize(args: argparse.Namespace) -> int:
+    import pathlib
+
+    from repro.ensemble.summary import (
+        REFERENCE_CORES,
+        REFERENCE_CYCLES,
+        REFERENCE_MEMBERS,
+        build_summary,
+        reference_config,
+    )
+
+    cfg = reference_config().copy(seed=args.base_seed)
+    if args.particles is not None:
+        cfg = cfg.copy(initial_particles=args.particles,
+                       capacity=max(2 * args.particles,
+                                    args.particles + 16))
+    if args.box is not None:
+        cfg = cfg.copy(box=args.box)
+    cycles = REFERENCE_CYCLES if args.cycles is None else args.cycles
+    cores = REFERENCE_CORES if args.cores is None else args.cores
+    members = REFERENCE_MEMBERS if args.members is None else args.members
+    if cycles < args.block_size:
+        print(f"error: --cycles {cycles} is shorter than one "
+              f"--block-size {args.block_size} block; raise --cycles or "
+              f"lower --block-size", file=sys.stderr)
+        return 2
+    summary = build_summary(cfg, cycles, cores, members=members,
+                            block_size=args.block_size, jobs=args.jobs)
+    path = summary.save(pathlib.Path(args.out) if args.out else None)
+    print(summary.describe())
+    print(f"wrote {path}")
+    return 0
+
+
+def _cmd_ensemble_check(args: argparse.Namespace) -> int:
+    import pathlib
+    from dataclasses import replace as _replace
+
+    from repro.ensemble.features import extract_features
+    from repro.ensemble.members import CandidateSpec, run_candidate
+    from repro.ensemble.summary import (
+        DEFAULT_MAX_PC_FAIL,
+        DEFAULT_THRESHOLD,
+        EnsembleSummary,
+    )
+    from repro.faults.campaign import CHAOS_PROFILES
+
+    summary = EnsembleSummary.load(
+        pathlib.Path(args.summary) if args.summary else None)
+    plan = None
+    if args.profile != "off" or args.force_corruption:
+        plan = CHAOS_PROFILES[args.profile].with_seed(args.fault_seed)
+        if args.force_corruption:
+            plan = _replace(plan, payload_corrupt_prob=1.0,
+                            payload_corrupt_max=1, checksums=False)
+    label_bits = [args.engine, args.stack]
+    if args.algorithm:
+        label_bits.append(f"algo={args.algorithm}")
+    if plan is not None:
+        label_bits.append(f"faults={args.profile}"
+                          + ("+corrupt" if args.force_corruption else "")
+                          + f" seed={args.fault_seed}")
+    if args.engine == "serial" and plan is not None:
+        print("fault profiles need the simulated machine; "
+              "use --engine sim", file=sys.stderr)
+        return 2
+    spec = CandidateSpec(label=" ".join(label_bits), engine=args.engine,
+                         stack=args.stack, seed=args.seed,
+                         allreduce_algo=args.algorithm, plan=plan,
+                         watchdog_us=(args.watchdog_us
+                                      if args.engine == "sim" else None))
+    cfg = summary.config()
+    result = run_candidate(spec, cfg, int(summary.meta["cycles"]),
+                           int(summary.meta["cores"]))
+    check = summary.check(
+        extract_features(result, int(summary.meta["block_size"])),
+        threshold=(DEFAULT_THRESHOLD if args.threshold is None
+                   else args.threshold),
+        max_pc_fail=(DEFAULT_MAX_PC_FAIL if args.max_pc_fail is None
+                     else args.max_pc_fail),
+        label=spec.label)
+    print(check.table())
+    return 0 if check.passed else 1
+
+
+def _cmd_ensemble_compare(args: argparse.Namespace) -> int:
+    import pathlib
+
+    from repro.ensemble.engines import GCMC_DRIFT_TOL, compare_engines
+    from repro.ensemble.summary import EnsembleSummary
+
+    summary = EnsembleSummary.load(
+        pathlib.Path(args.summary) if args.summary else None)
+    cmp = compare_engines(summary, stack=args.stack, seed=args.seed,
+                          drift_tol=(GCMC_DRIFT_TOL if args.drift_tol
+                                     is None else args.drift_tol))
+    print(cmp.describe())
+    return 0 if cmp.passed else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -464,6 +579,16 @@ def build_parser() -> argparse.ArgumentParser:
     pchaos.add_argument("--trace-out", default=None,
                         help="directory for a Chrome trace of one "
                              "traced trial")
+    pchaos.add_argument("--app", choices=("collectives", "gcmc"),
+                        default="collectives",
+                        help="what to put under chaos: single "
+                             "collectives checked bit-exactly (default) "
+                             "or full GCMC runs checked against the "
+                             "statistical ensemble envelope")
+    pchaos.add_argument("--summary", default=None,
+                        help="ensemble summary JSON for --app gcmc "
+                             "(default: the committed "
+                             "benchmarks/results/ensemble_summary.json)")
     pchaos.set_defaults(func=_cmd_chaos)
 
     ptune = sub.add_parser(
@@ -509,6 +634,90 @@ def build_parser() -> argparse.ArgumentParser:
                         help="one-shot digest: Fig. 6 + Section IV + Fig. 10")
     pp.add_argument("--cycles", type=int, default=4)
     pp.set_defaults(func=_cmd_paper)
+
+    pens = sub.add_parser(
+        "ensemble",
+        help="statistical ensemble verification of GCMC (PCA envelope)")
+    esub = pens.add_subparsers(dest="ensemble_command", required=True)
+
+    psum = esub.add_parser(
+        "summarize",
+        help="run the seed ensemble and write the PCA envelope summary")
+    psum.add_argument("--members", type=int, default=None,
+                      help="ensemble size (default: the committed "
+                           "reference, 32)")
+    psum.add_argument("--cycles", type=int, default=None)
+    psum.add_argument("--cores", type=int, default=None,
+                      help="SPMD rank count the physics is decomposed "
+                           "over")
+    psum.add_argument("--base-seed", type=int, default=20120901,
+                      help="members run base+1..base+members; the base "
+                           "itself is held out for validation")
+    psum.add_argument("--particles", type=int, default=None,
+                      help="override the reference particle count")
+    psum.add_argument("--box", type=float, default=None,
+                      help="override the reference box edge")
+    psum.add_argument("--block-size", type=int, default=8,
+                      help="block size of the block-averaged energy "
+                           "features")
+    psum.add_argument("--jobs", type=int, default=None,
+                      help="fork-pool workers (default REPRO_BENCH_JOBS "
+                           "or 1; 0 = all CPUs)")
+    psum.add_argument("--out", default=None,
+                      help="output path (default: "
+                           "benchmarks/results/ensemble_summary.json)")
+    psum.set_defaults(func=_cmd_ensemble_summarize)
+
+    pcheck = esub.add_parser(
+        "check",
+        help="score one candidate GCMC run against the stored envelope")
+    pcheck.add_argument("--summary", default=None,
+                        help="summary JSON (default: the committed one)")
+    pcheck.add_argument("--engine", choices=("sim", "serial"),
+                        default="sim",
+                        help="run the candidate on the simulated machine "
+                             "(default) or through the serial physics "
+                             "runner")
+    pcheck.add_argument("--stack", default="lightweight_balanced",
+                        choices=list(available_stacks()))
+    pcheck.add_argument("--seed", type=int, default=None,
+                        help="GCMC seed (default: the summary's held-out "
+                             "base seed)")
+    pcheck.add_argument("--algorithm", default=None,
+                        help="force one Allreduce algorithm for every "
+                             "energy reduction (native name or "
+                             "'sched:<name>')")
+    pcheck.add_argument("--profile", default="off",
+                        choices=["off", "light", "default", "heavy"],
+                        help="chaos profile to run the candidate under")
+    pcheck.add_argument("--fault-seed", type=int, default=1,
+                        help="fault-injector seed for --profile/"
+                             "--force-corruption")
+    pcheck.add_argument("--force-corruption", action="store_true",
+                        help="disable checksums and corrupt exactly one "
+                             "MPB payload byte (the silent-corruption "
+                             "scenario the gate exists for)")
+    pcheck.add_argument("--threshold", type=float, default=None,
+                        help="per-PC z-score bound (default 3.0)")
+    pcheck.add_argument("--max-pc-fail", type=int, default=None,
+                        help="PCs allowed outside the bound (default 1)")
+    pcheck.add_argument("--watchdog-us", type=float, default=2_000_000.0,
+                        help="virtual-time budget for the candidate run")
+    pcheck.set_defaults(func=_cmd_ensemble_check)
+
+    pcmp = esub.add_parser(
+        "compare-engines",
+        help="sim-vs-analytic GCMC acceptance test under the envelope")
+    pcmp.add_argument("--summary", default=None,
+                      help="summary JSON (default: the committed one)")
+    pcmp.add_argument("--stack", default="lightweight_balanced",
+                      choices=list(available_stacks()))
+    pcmp.add_argument("--seed", type=int, default=None,
+                      help="GCMC seed (default: the held-out base seed)")
+    pcmp.add_argument("--drift-tol", type=float, default=None,
+                      help="relative latency drift tolerance "
+                           "(default 0.45)")
+    pcmp.set_defaults(func=_cmd_ensemble_compare)
 
     pg = sub.add_parser("gcmc", help="run the GCMC application")
     pg.add_argument("--stack", default="mpb",

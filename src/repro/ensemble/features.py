@@ -1,0 +1,94 @@
+"""The per-run observable vector the PCA envelope is built over.
+
+One GCMC run is compressed into a fixed-order vector of thermodynamic
+observables — the quantities a physicist would eyeball to decide whether
+a run "looks right": block-averaged energy (the standard MC estimator
+that respects serial correlation), particle count, energy fluctuations,
+and the per-move-type acceptance statistics.  Everything is derived from
+the :class:`~repro.apps.gcmc.observables.Observables` accumulator the
+driver fills anyway; extraction never re-runs physics.
+
+Per-move-type rates are normalized by the *total* sample count (not the
+per-type attempt count) so they are defined even for runs that never
+attempted a move type — a run whose move mix itself drifted is exactly
+the kind of wrongness the envelope should see.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps.gcmc.driver import GCMCResult
+
+#: Fixed feature order; the summary stores this list and refuses to
+#: score candidates extracted under a different one.
+FEATURE_NAMES: tuple[str, ...] = (
+    "mean_energy",           # Welford mean of the per-cycle energy
+    "energy_std",            # sqrt of the Welford population variance
+    "block_energy_mean",     # block-averaged energy (serial-correlation
+                             # aware; trailing partial block dropped)
+    "block_energy_err",      # block standard error of the energy
+    "mean_particles",        # mean particle count
+    "final_energy",          # energy after the last cycle
+    "final_particles",       # particle count after the last cycle
+    "acceptance_ratio",      # overall accepted / samples
+    "translate_tried_frac",  # TRANSLATE attempts / samples
+    "translate_accept_frac",  # TRANSLATE acceptances / samples
+    "insert_tried_frac",
+    "insert_accept_frac",
+    "delete_tried_frac",
+    "delete_accept_frac",
+)
+
+#: Default block size for the block-averaged energy features.
+DEFAULT_BLOCK_SIZE = 8
+
+
+def extract_features(result: GCMCResult,
+                     block_size: int = DEFAULT_BLOCK_SIZE) -> np.ndarray:
+    """The run's observable vector, in :data:`FEATURE_NAMES` order.
+
+    ``block_size`` must match the value the ensemble summary was built
+    with (it is recorded in the summary's metadata); it must not exceed
+    the run's sample count.
+    """
+    obs = result.observables
+    if obs.samples == 0:
+        raise ValueError("cannot extract features from a run with no "
+                         "recorded samples")
+    block_mean, block_err = obs.block_average(block_size)
+    samples = obs.samples
+
+    def frac(action: str, key: str) -> float:
+        return obs.action_counts(action)[key] / samples
+
+    values = (
+        obs.mean_energy,
+        float(np.sqrt(obs.energy_variance)),
+        block_mean,
+        block_err,
+        obs.mean_particles,
+        result.final_energy,
+        float(result.final_particles),
+        obs.acceptance_ratio,
+        frac("TRANSLATE", "tried"),
+        frac("TRANSLATE", "accepted"),
+        frac("INSERT", "tried"),
+        frac("INSERT", "accepted"),
+        frac("DELETE", "tried"),
+        frac("DELETE", "accepted"),
+    )
+    vector = np.array(values, dtype=np.float64)
+    if not np.all(np.isfinite(vector)):
+        bad = [FEATURE_NAMES[i] for i in np.flatnonzero(~np.isfinite(vector))]
+        raise ValueError(f"non-finite observable(s) in run: {bad} — the "
+                         f"run's physics is numerically destroyed")
+    return vector
+
+
+def feature_dict(vector: np.ndarray) -> dict[str, float]:
+    """``{name: value}`` view of one feature vector (for reports)."""
+    if vector.shape != (len(FEATURE_NAMES),):
+        raise ValueError(f"expected {len(FEATURE_NAMES)} features, got "
+                         f"shape {vector.shape}")
+    return {name: float(v) for name, v in zip(FEATURE_NAMES, vector)}

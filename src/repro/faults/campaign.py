@@ -16,6 +16,14 @@ classifies the outcome:
 A *campaign* sweeps kinds × stacks × seeds and renders the per-stack
 survival/correctness table behind ``python -m repro chaos`` and
 ``tools/run_chaos.py``.
+
+GCMC trials (``python -m repro chaos --app gcmc``) put the whole
+application under the same fault regimes and classify with the
+statistical envelope instead of bit-exact comparison: a completed run
+whose observables fall outside the stored PCA envelope
+(:mod:`repro.ensemble`) is ``statistically-wrong`` — the outcome a
+silent payload corruption produces when the hardening that should have
+caught it (checksums) is disabled.
 """
 
 from __future__ import annotations
@@ -70,6 +78,16 @@ CHAOS_PROFILES: dict[str, FaultPlan] = {
 
 #: Outcomes that mean "the stack survived the faults as promised".
 SURVIVAL_OUTCOMES = ("ok", "fault", "watchdog", "deadlock")
+
+#: Outcome of a GCMC trial that completed but whose observables fall
+#: outside the ensemble envelope — the failure mode bit-exact checking
+#: cannot express for a chaotic application.
+STAT_WRONG = "statistically-wrong"
+
+#: Fixed survival-table column order; outcomes outside this list are
+#: appended alphabetically (so GCMC's ``statistically-wrong`` shows up
+#: without collective-only campaigns paying an empty column).
+_TABLE_OUTCOMES = ("ok", "fault", "watchdog", "deadlock", "wrong", "error")
 
 
 @dataclass
@@ -233,17 +251,19 @@ class CampaignResult:
 
     def survival_table(self) -> str:
         """The per-stack survival/correctness table."""
-        headers = ["stack", "trials", "ok", "fault", "watchdog",
-                   "deadlock", "wrong", "error", "correct %", "survival %"]
+        extra = sorted({t.outcome for t in self.trials}
+                       - set(_TABLE_OUTCOMES))
+        outcomes = _TABLE_OUTCOMES[:-1] + tuple(extra) + ("error",)
+        headers = (["stack", "trials"] + list(outcomes)
+                   + ["correct %", "survival %"])
         rows: list[list[Any]] = []
         for stack, trials in sorted(self.by_stack().items()):
             n = len(trials)
             count = (lambda o: sum(1 for t in trials if t.outcome == o))
             ok = count("ok")
             survived = sum(1 for t in trials if t.survived)
-            rows.append([stack, n, ok, count("fault"), count("watchdog"),
-                         count("deadlock"), count("wrong"), count("error"),
-                         100.0 * ok / n, 100.0 * survived / n])
+            rows.append([stack, n] + [count(o) for o in outcomes]
+                        + [100.0 * ok / n, 100.0 * survived / n])
         title = (f"chaos campaign ({self.profile!r} profile, "
                  f"{len(self.trials)} trials)")
         return title + "\n" + format_table(headers, rows)
@@ -277,4 +297,121 @@ def run_campaign(*, profile: str = "light",
                                         cores=cores, iters=iters,
                                         watchdog_us=watchdog_us,
                                         config=cfg))
+    return CampaignResult(profile=profile, trials=trials)
+
+
+# --------------------------------------------------------------------- #
+# GCMC application trials (statistical-envelope classification)
+# --------------------------------------------------------------------- #
+
+#: Default virtual-time budget for one GCMC chaos trial.  The envelope's
+#: committed reference configuration simulates in the low hundreds of
+#: milliseconds of virtual time; 2 s leaves room for fault-retry storms
+#: while still catching livelock.
+GCMC_WATCHDOG_US = 2_000_000.0
+
+#: Default stacks for GCMC campaigns (one per protocol family — a full
+#: application run is ~100x the cost of a single-collective trial).
+GCMC_CHAOS_STACKS = ("blocking", "lightweight_balanced", "mpb")
+
+
+def run_gcmc_trial(summary, plan: FaultPlan, *,
+                   stack: str = "lightweight_balanced",
+                   allreduce_algo: Optional[str] = None,
+                   watchdog_us: Optional[float] = GCMC_WATCHDOG_US,
+                   threshold: Optional[float] = None,
+                   max_pc_fail: Optional[int] = None,
+                   config: Optional[SCCConfig] = None) -> TrialResult:
+    """One GCMC run under ``plan``, classified against the envelope.
+
+    ``summary`` is an :class:`~repro.ensemble.summary.EnsembleSummary`;
+    the trial runs its committed reference configuration (config, cycle
+    count, rank count, block size all come from the summary's metadata,
+    so the features are commensurable with the envelope).  Outcomes are
+    the collective-trial ones plus :data:`STAT_WRONG` for runs that
+    completed with observables outside the envelope.
+    """
+    from repro.apps.gcmc.driver import run_gcmc
+    from repro.ensemble.features import extract_features
+    from repro.ensemble.summary import (
+        DEFAULT_MAX_PC_FAIL,
+        DEFAULT_THRESHOLD,
+    )
+
+    threshold = DEFAULT_THRESHOLD if threshold is None else threshold
+    max_pc_fail = DEFAULT_MAX_PC_FAIL if max_pc_fail is None else max_pc_fail
+    cfg = summary.config()
+    cycles = int(summary.meta["cycles"])
+    cores = int(summary.meta["cores"])
+    block = int(summary.meta["block_size"])
+    scc = config.copy() if config is not None else SCCConfig()
+    scc.check_rank_count(cores)
+    machine = Machine(scc)
+    injector = FaultInjector(plan).install(machine)
+    comm = make_communicator(machine, stack)
+    watchdog_ps = us_to_ps(watchdog_us) if watchdog_us is not None else None
+    try:
+        result = run_gcmc(machine, comm, cfg, cycles,
+                          ranks=list(range(cores)),
+                          allreduce_algo=allreduce_algo,
+                          watchdog_ps=watchdog_ps)
+    except FaultError as exc:
+        outcome, detail, elapsed = "fault", str(exc), ps_to_us(
+            machine.sim.now)
+    except WatchdogTimeout as exc:
+        outcome, detail, elapsed = "watchdog", str(exc), ps_to_us(
+            machine.sim.now)
+    except DeadlockError as exc:
+        outcome, detail, elapsed = "deadlock", str(exc), ps_to_us(
+            machine.sim.now)
+    except Exception as exc:  # noqa: BLE001 - classified, not swallowed
+        outcome, detail, elapsed = "error", repr(exc), ps_to_us(
+            machine.sim.now)
+    else:
+        elapsed = result.elapsed_us
+        try:
+            features = extract_features(result, block)
+        except ValueError as exc:
+            outcome, detail = STAT_WRONG, f"unusable observables: {exc}"
+        else:
+            check = summary.check(features, threshold=threshold,
+                                  max_pc_fail=max_pc_fail,
+                                  label=f"gcmc/{stack} seed={plan.seed}")
+            if check.passed:
+                outcome, detail = "ok", ""
+            else:
+                outcome = STAT_WRONG
+                detail = (f"{check.n_failed} PC(s) outside "
+                          f"|z| <= {threshold:g}: "
+                          + "; ".join(
+                              f"PC{i} z={check.z_scores[i]:+.1f}"
+                              for i in check.failed_pcs[:4])
+                          + ("".join(f"; {name} moved"
+                                     for name in
+                                     check.degenerate_failures[:4])))
+    return TrialResult(kind="gcmc", stack=stack, seed=plan.seed,
+                       outcome=outcome, detail=detail, elapsed_us=elapsed,
+                       fault_counts=injector.summary())
+
+
+def run_gcmc_campaign(summary, *, profile: str = "light",
+                      stacks: Sequence[str] = GCMC_CHAOS_STACKS,
+                      seeds: Sequence[int] = (1,),
+                      watchdog_us: Optional[float] = GCMC_WATCHDOG_US,
+                      threshold: Optional[float] = None,
+                      max_pc_fail: Optional[int] = None,
+                      config: Optional[SCCConfig] = None) -> CampaignResult:
+    """Sweep stacks × seeds of full GCMC runs under one fault profile."""
+    try:
+        base = CHAOS_PROFILES[profile]
+    except KeyError:
+        raise KeyError(f"unknown chaos profile {profile!r}; known: "
+                       f"{sorted(CHAOS_PROFILES)}") from None
+    trials = [
+        run_gcmc_trial(summary, replace(base, seed=seed), stack=stack,
+                       watchdog_us=watchdog_us, threshold=threshold,
+                       max_pc_fail=max_pc_fail, config=config)
+        for stack in stacks
+        for seed in seeds
+    ]
     return CampaignResult(profile=profile, trials=trials)

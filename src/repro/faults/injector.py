@@ -150,8 +150,12 @@ class FaultInjector:
 
         ``boost`` raises the rate to near-certainty (used for the MPB
         allreduce's "faulty epoch" classification, so degradation is
-        actually exercised).
+        actually exercised).  A nonzero ``plan.payload_corrupt_max``
+        caps the number of corruptions per run (boosted ones included).
         """
+        budget = self.plan.payload_corrupt_max
+        if budget and self.counts.get("payload_corrupt", 0) >= budget:
+            return False
         prob = 0.9 if boost else self.plan.payload_corrupt_prob
         if nbytes <= 0 or not self._chance(prob):
             return False

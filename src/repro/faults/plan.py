@@ -57,6 +57,11 @@ class FaultPlan:
     # -- payload corruption ----------------------------------------------
     #: Probability that one byte of a just-written MPB payload flips.
     payload_corrupt_prob: float = 0.0
+    #: Budget: at most this many payload corruptions per run (``0`` =
+    #: unlimited).  A budget of 1 with probability 1 corrupts exactly the
+    #: first payload — the deterministic "one silent bit-flip" scenario
+    #: the statistical ensemble gate is exercised against.
+    payload_corrupt_max: int = 0
 
     # -- core stalls -----------------------------------------------------
     #: Probability that a timed core burst hits a transient stall.
@@ -104,6 +109,9 @@ class FaultPlan:
             if getattr(self, name) <= 0:
                 raise ValueError(f"{name} must be positive, "
                                  f"got {getattr(self, name)}")
+        if self.payload_corrupt_max < 0:
+            raise ValueError(f"payload_corrupt_max must be >= 0, "
+                             f"got {self.payload_corrupt_max}")
         if self.max_retries < 1:
             raise ValueError(f"max_retries must be >= 1, "
                              f"got {self.max_retries}")

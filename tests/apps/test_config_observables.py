@@ -104,3 +104,33 @@ class TestBlockAveraging:
             obs.block_average(0)
         with pytest.raises(ValueError):
             obs.block_average(5)
+
+
+class TestWelfordAccumulator:
+    def test_variance_stable_under_large_offset(self):
+        # The reason running sums were replaced: with a mean of 1e9 the
+        # naive sum/sum-of-squares variance loses every significant
+        # digit to cancellation, the Welford form does not.
+        obs = Observables()
+        offset = 1.0e9
+        for v in (1.0, 2.0, 3.0):
+            obs.record(offset + v, 1, "TRANSLATE", True)
+        assert obs.mean_energy == pytest.approx(offset + 2.0)
+        assert obs.energy_variance == pytest.approx(2.0 / 3.0, rel=1e-9)
+
+    def test_variance_matches_population_definition(self):
+        obs = Observables()
+        values = [-3.0, 1.0, 4.0, 4.0]
+        for v in values:
+            obs.record(v, 1, "INSERT", False)
+        mean = sum(values) / len(values)
+        expected = sum((v - mean) ** 2 for v in values) / len(values)
+        assert obs.energy_variance == pytest.approx(expected, rel=1e-12)
+
+    def test_action_counts_default_to_zero(self):
+        obs = Observables()
+        obs.record(-1.0, 1, "TRANSLATE", True)
+        assert obs.action_counts("TRANSLATE") == {"tried": 1, "accepted": 1}
+        assert obs.action_counts("DELETE") == {"tried": 0, "accepted": 0}
+        # by_action holds plain int counters per action name.
+        assert obs.by_action == {"TRANSLATE": {"tried": 1, "accepted": 1}}

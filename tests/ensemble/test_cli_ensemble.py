@@ -1,0 +1,57 @@
+"""The ``python -m repro ensemble`` command surface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.ensemble.summary import ENSEMBLE_SCHEMA
+
+
+@pytest.fixture(scope="module")
+def small_summary(tmp_path_factory):
+    """A tiny summary built through the real CLI (fast: serial members)."""
+    out = tmp_path_factory.mktemp("ensemble") / "summary.json"
+    rc = main(["ensemble", "summarize", "--members", "6", "--cycles", "8",
+               "--cores", "4", "--out", str(out)])
+    assert rc == 0
+    return out
+
+
+def test_summarize_writes_schema_versioned_json(small_summary):
+    payload = json.loads(small_summary.read_text())
+    assert payload["schema"] == ENSEMBLE_SCHEMA
+    assert payload["meta"]["members"] == 6
+    assert payload["meta"]["cycles"] == 8
+    assert payload["meta"]["base_seed"] == 20120901
+    assert 20120901 not in payload["meta"]["seeds"]
+
+
+def test_check_accepts_the_held_out_seed(small_summary, capsys):
+    rc = main(["ensemble", "check", "--summary", str(small_summary),
+               "--engine", "serial"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "PASS" in out and "z-score" in out
+
+
+def test_check_exit_code_reflects_the_verdict(small_summary, capsys):
+    # An absurdly tight threshold turns any healthy run into a failure:
+    # the nonzero exit is what CI scripts key on.
+    rc = main(["ensemble", "check", "--summary", str(small_summary),
+               "--engine", "serial", "--threshold", "0.001",
+               "--max-pc-fail", "0"])
+    assert rc == 1
+    assert "FAIL" in capsys.readouterr().out
+
+
+def test_summarize_rejects_cycles_shorter_than_a_block(capsys):
+    rc = main(["ensemble", "summarize", "--members", "4", "--cycles", "6"])
+    assert rc == 2
+    assert "--block-size" in capsys.readouterr().err
+
+
+def test_member_seed_passes_its_own_envelope(small_summary):
+    rc = main(["ensemble", "check", "--summary", str(small_summary),
+               "--engine", "serial", "--seed", "20120903"])
+    assert rc == 0

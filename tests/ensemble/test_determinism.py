@@ -1,0 +1,44 @@
+"""Seeded GCMC determinism across fresh processes.
+
+The whole ensemble methodology rests on this: one ``(config, seed)``
+pair must produce the same observable series bit-for-bit no matter when
+or in which process it runs — otherwise the envelope would be comparing
+runs against a moving target.  ``repr`` round-trips floats exactly, so
+comparing the printed series compares the bits.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+_SCRIPT = """
+import sys
+sys.path.insert(0, {src!r})
+from repro.apps.gcmc.config import GCMCConfig
+from repro.apps.gcmc.serial import run_gcmc_serial
+
+cfg = GCMCConfig(initial_particles=24, capacity=48, box=6.0, seed=20120901)
+result = run_gcmc_serial(cfg, 12, nranks=4)
+obs = result.observables
+print(repr(obs.energy_series))
+print(repr(result.final_energy), result.final_particles)
+print(repr(obs.energy_mean_acc), repr(obs.energy_m2))
+print(sorted(obs.by_action.items()))
+"""
+
+
+def _fresh_process_run() -> str:
+    proc = subprocess.run(
+        [sys.executable, "-c", _SCRIPT.format(src=SRC)],
+        capture_output=True, text=True, check=True, timeout=300)
+    return proc.stdout
+
+
+def test_observable_series_bit_identical_across_processes():
+    first = _fresh_process_run()
+    second = _fresh_process_run()
+    lines = first.splitlines()
+    assert len(lines) == 4 and lines[0].startswith("[")
+    assert first == second

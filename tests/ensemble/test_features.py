@@ -1,0 +1,72 @@
+"""Feature extraction: order, normalization, failure modes."""
+
+import numpy as np
+import pytest
+
+from repro.apps.gcmc.config import GCMCConfig
+from repro.apps.gcmc.driver import GCMCResult
+from repro.apps.gcmc.observables import Observables
+from repro.apps.gcmc.serial import run_gcmc_serial
+from repro.ensemble.features import (
+    FEATURE_NAMES,
+    extract_features,
+    feature_dict,
+)
+
+CFG = GCMCConfig(initial_particles=24, capacity=48, box=6.0, seed=7)
+
+
+def _result(obs, energy=-1.0, particles=3, cycles=None):
+    return GCMCResult(observables=obs, final_energy=energy,
+                      final_particles=particles,
+                      cycles=cycles if cycles is not None else obs.samples)
+
+
+def test_vector_matches_feature_names_order():
+    result = run_gcmc_serial(CFG, 16, nranks=4)
+    vec = extract_features(result, block_size=4)
+    assert vec.shape == (len(FEATURE_NAMES),)
+    named = feature_dict(vec)
+    obs = result.observables
+    assert named["mean_energy"] == obs.mean_energy
+    assert named["final_energy"] == result.final_energy
+    assert named["final_particles"] == float(result.final_particles)
+    assert named["acceptance_ratio"] == obs.acceptance_ratio
+    block_mean, block_err = obs.block_average(4)
+    assert named["block_energy_mean"] == block_mean
+    assert named["block_energy_err"] == block_err
+    assert named["energy_std"] == pytest.approx(
+        np.sqrt(obs.energy_variance))
+
+
+def test_action_fractions_normalized_by_total_samples():
+    obs = Observables()
+    obs.record(-1.0, 2, "TRANSLATE", True)
+    obs.record(-1.5, 2, "TRANSLATE", False)
+    obs.record(-2.0, 3, "INSERT", True)
+    obs.record(-2.5, 3, "DELETE", False)
+    named = feature_dict(extract_features(_result(obs), block_size=2))
+    assert named["translate_tried_frac"] == pytest.approx(0.5)
+    assert named["translate_accept_frac"] == pytest.approx(0.25)
+    assert named["insert_tried_frac"] == pytest.approx(0.25)
+    assert named["insert_accept_frac"] == pytest.approx(0.25)
+    assert named["delete_tried_frac"] == pytest.approx(0.25)
+    assert named["delete_accept_frac"] == 0.0
+
+
+def test_empty_run_rejected():
+    with pytest.raises(ValueError, match="no recorded samples"):
+        extract_features(_result(Observables(), cycles=0))
+
+
+def test_nonfinite_observables_rejected():
+    obs = Observables()
+    obs.record(float("nan"), 2, "TRANSLATE", True)
+    obs.record(-1.0, 2, "TRANSLATE", False)
+    with pytest.raises(ValueError, match="non-finite"):
+        extract_features(_result(obs), block_size=1)
+
+
+def test_feature_dict_rejects_wrong_shape():
+    with pytest.raises(ValueError, match="expected"):
+        feature_dict(np.zeros(3))

@@ -1,0 +1,143 @@
+"""The PCA envelope: construction, scoring, persistence."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.ensemble.features import FEATURE_NAMES
+from repro.ensemble.members import member_seeds
+from repro.ensemble.summary import (
+    ENSEMBLE_SCHEMA,
+    EnsembleSummary,
+)
+
+D = len(FEATURE_NAMES)
+RNG_SEED = 20120901
+
+
+def synthetic_ensemble(n=40, constant_cols=(), seed=RNG_SEED):
+    """A Gaussian feature matrix with optional degenerate columns."""
+    rng = np.random.default_rng(seed)
+    X = rng.normal(loc=5.0, scale=2.0, size=(n, D))
+    for col in constant_cols:
+        X[:, col] = 3.25
+    return X
+
+
+def test_member_seeds_hold_out_the_base():
+    seeds = member_seeds(100, 8)
+    assert seeds == list(range(101, 109))
+    assert 100 not in seeds
+    with pytest.raises(ValueError, match="at least 2"):
+        member_seeds(100, 1)
+
+
+def test_members_score_inside_their_own_envelope():
+    X = synthetic_ensemble()
+    summary = EnsembleSummary.from_features(X)
+    for row in X[:10]:
+        assert summary.check(row).passed
+
+
+def test_shifted_candidate_fails():
+    X = synthetic_ensemble()
+    summary = EnsembleSummary.from_features(X)
+    candidate = X.mean(axis=0) + 50.0 * X.std(axis=0, ddof=1)
+    check = summary.check(candidate)
+    assert not check.passed
+    assert check.failed_pcs
+    assert "FAIL" in check.table()
+
+
+def test_single_outlier_pc_is_tolerated_within_max_pc_fail():
+    X = synthetic_ensemble()
+    summary = EnsembleSummary.from_features(X)
+    # Push the candidate along exactly one principal direction.
+    active = summary.active
+    candidate = X.mean(axis=0).copy()
+    direction = np.zeros(D)
+    direction[active] = summary.components[0] * summary.std[active]
+    candidate += 5.0 * summary.pc_std[0] * direction
+    check = summary.check(candidate, max_pc_fail=1)
+    assert len(check.failed_pcs) >= 1
+    strict = summary.check(candidate, max_pc_fail=0)
+    assert not strict.passed
+
+
+def test_degenerate_features_checked_exactly():
+    X = synthetic_ensemble(constant_cols=(0, 5))
+    summary = EnsembleSummary.from_features(X)
+    assert summary.degenerate == (0, 5)
+    ok = X[0].copy()
+    assert summary.check(ok).passed
+
+    moved = X[0].copy()
+    moved[5] = 3.26  # a constant observable moved: wrong with certainty
+    check = summary.check(moved, max_pc_fail=0)
+    assert not check.passed
+    assert check.degenerate_failures == [FEATURE_NAMES[5]]
+
+
+def test_envelope_requires_some_spread():
+    X = synthetic_ensemble(constant_cols=tuple(range(D)))
+    with pytest.raises(ValueError, match="constant across the ensemble"):
+        EnsembleSummary.from_features(X)
+
+
+def test_json_round_trip_is_exact(tmp_path):
+    summary = EnsembleSummary.from_features(
+        synthetic_ensemble(), meta={"cycles": 8, "cores": 4})
+    path = summary.save(tmp_path / "summary.json")
+    loaded = EnsembleSummary.load(path)
+    assert np.array_equal(loaded.mean, summary.mean)
+    assert np.array_equal(loaded.std, summary.std)
+    assert np.array_equal(loaded.components, summary.components)
+    assert np.array_equal(loaded.pc_std, summary.pc_std)
+    assert loaded.degenerate == summary.degenerate
+    assert loaded.meta == {"cycles": 8, "cores": 4}
+    # Scoring through the round-trip is bit-identical.
+    x = synthetic_ensemble()[3]
+    assert np.array_equal(loaded.check(x).z_scores,
+                          summary.check(x).z_scores)
+
+
+def test_schema_mismatch_refused(tmp_path):
+    summary = EnsembleSummary.from_features(synthetic_ensemble())
+    payload = summary.to_json()
+    payload["schema"] = ENSEMBLE_SCHEMA + 1
+    path = tmp_path / "stale.json"
+    path.write_text(json.dumps(payload))
+    with pytest.raises(ValueError, match="ensemble schema"):
+        EnsembleSummary.load(path)
+
+
+def test_foreign_feature_set_refused(tmp_path):
+    summary = EnsembleSummary.from_features(synthetic_ensemble())
+    payload = summary.to_json()
+    payload["feature_names"][0] = "renamed_observable"
+    path = tmp_path / "foreign.json"
+    path.write_text(json.dumps(payload))
+    with pytest.raises(ValueError, match="different feature set"):
+        EnsembleSummary.load(path)
+
+
+def test_missing_summary_names_the_regeneration_command(tmp_path):
+    with pytest.raises(FileNotFoundError, match="ensemble summarize"):
+        EnsembleSummary.load(tmp_path / "absent.json")
+
+
+def test_rebuild_is_bit_reproducible():
+    X = synthetic_ensemble()
+    a = EnsembleSummary.from_features(X)
+    b = EnsembleSummary.from_features(X)
+    assert np.array_equal(a.components, b.components)
+    assert np.array_equal(a.pc_std, b.pc_std)
+
+
+def test_candidate_shape_guard():
+    summary = EnsembleSummary.from_features(synthetic_ensemble())
+    with pytest.raises(ValueError, match="same feature set"):
+        summary.check(np.zeros(3))
+    with pytest.raises(ValueError, match="threshold"):
+        summary.check(np.zeros(D), threshold=0.0)

@@ -12,8 +12,9 @@ Two checks, both wired into the test suite (``tests/test_docs_check.py``):
   seconds-scale sizes every example supports) and fail on a non-zero
   exit.
 * ``--cli`` — every ``python -m repro`` subcommand (introspected from
-  ``repro.cli.build_parser``) must appear as ``python -m repro <name>``
-  in ``docs/api.md``, so the command-line reference can never silently
+  ``repro.cli.build_parser``, recursing into nested subcommands like
+  ``ensemble summarize``) must appear as ``python -m repro <name>`` in
+  ``docs/api.md``, so the command-line reference can never silently
   fall behind the parser.
 * ``--cli-flags`` — every long option of every subcommand (again
   introspected from the live parser, so e.g. ``--engine`` is covered the
@@ -115,39 +116,48 @@ def check_examples(verbose: bool = False) -> list[str]:
     return failures
 
 
-def cli_subcommands() -> list[str]:
-    """Subcommand names introspected from the installed CLI parser."""
-    src = os.path.join(REPO_ROOT, "src")
-    if src not in sys.path:
-        sys.path.insert(0, src)
-    from repro.cli import build_parser
-
-    parser = build_parser()
-    for action in parser._actions:
-        if isinstance(action, argparse._SubParsersAction):
-            return sorted(action.choices)
-    return []
-
-
-def cli_flags() -> dict[str, list[str]]:
-    """subcommand -> sorted long options, introspected from the parser."""
-    src = os.path.join(REPO_ROOT, "src")
-    if src not in sys.path:
-        sys.path.insert(0, src)
-    from repro.cli import build_parser
-
-    parser = build_parser()
-    flags: dict[str, list[str]] = {}
+def _iter_subparsers(parser, prefix: str = ""):
+    """Yield ``(full name, subparser)`` pairs, recursing into nested
+    subcommands (``ensemble summarize`` and friends)."""
     for action in parser._actions:
         if not isinstance(action, argparse._SubParsersAction):
             continue
         for name, sub in action.choices.items():
-            longs = set()
-            for sub_action in sub._actions:
-                for opt in sub_action.option_strings:
-                    if opt.startswith("--") and opt != "--help":
-                        longs.add(opt)
-            flags[name] = sorted(longs)
+            full = f"{prefix}{name}"
+            yield full, sub
+            yield from _iter_subparsers(sub, prefix=full + " ")
+
+
+def cli_subcommands() -> list[str]:
+    """Subcommand names (nested ones as ``parent child``) introspected
+    from the installed CLI parser."""
+    src = os.path.join(REPO_ROOT, "src")
+    if src not in sys.path:
+        sys.path.insert(0, src)
+    from repro.cli import build_parser
+
+    return sorted({name for name, _ in _iter_subparsers(build_parser())})
+
+
+def cli_flags() -> dict[str, list[str]]:
+    """subcommand -> sorted long options, introspected from the parser.
+
+    Nested subcommands appear under their full name; a parent that only
+    dispatches (no options of its own) contributes an empty list.
+    """
+    src = os.path.join(REPO_ROOT, "src")
+    if src not in sys.path:
+        sys.path.insert(0, src)
+    from repro.cli import build_parser
+
+    flags: dict[str, list[str]] = {}
+    for name, sub in _iter_subparsers(build_parser()):
+        longs = set()
+        for sub_action in sub._actions:
+            for opt in sub_action.option_strings:
+                if opt.startswith("--") and opt != "--help":
+                    longs.add(opt)
+        flags[name] = sorted(longs)
     return flags
 
 
