@@ -16,7 +16,12 @@ from typing import Callable, Dict, Tuple
 
 from repro.core.blocks import standard_partition
 from repro.sched.builders import build_schedule
-from repro.sched.ir import Exchange, Interval, Schedule
+from repro.sched.chunking import (
+    build_pipeline_bcast,
+    build_pipeline_reduce,
+    chunk_schedule,
+)
+from repro.sched.ir import Exchange, Interval, Recv, ReduceRecv, Schedule, Send
 
 FIXTURE_P = 4
 FIXTURE_N = 8
@@ -128,6 +133,56 @@ def clobbered_input() -> Tuple[Schedule, str]:
     return _replace_plan(sched, 2, plan), "input-write"
 
 
+def all_send_first_chunked_ring() -> Tuple[Schedule, str]:
+    """The chunk transform must not launder a deadlocking base.
+
+    Same bug as :func:`all_send_first_ring`, introduced *after* the
+    transform split every exchange into sub-messages — the verifier has
+    to chase the cycle through the chunked step lists too.
+    """
+    sched = chunk_schedule(_base("allgather", "ring"), 2)
+    plans = []
+    for plan in sched.plans:
+        plans.append(tuple(
+            dataclasses.replace(s, send_first=True)
+            if isinstance(s, Exchange) else s
+            for s in plan))
+    return dataclasses.replace(sched, plans=tuple(plans)), \
+        "blocking-deadlock"
+
+
+def dropped_chunk_forward() -> Tuple[Schedule, str]:
+    """A pipeline interior rank never forwards its last chunk.
+
+    The downstream rank still posts the receive for it — the classic
+    off-by-one in a pipelined chain's drain phase.
+    """
+    part = standard_partition(FIXTURE_N, FIXTURE_P)
+    sched = build_pipeline_bcast(FIXTURE_P, FIXTURE_N, part, 0, 2)
+    plan = list(sched.plans[1])
+    for i in range(len(plan) - 1, -1, -1):
+        if isinstance(plan[i], Send):
+            del plan[i]
+            break
+    return _replace_plan(sched, 1, plan), "unmatched-recv"
+
+
+def pipeline_missing_fold() -> Tuple[Schedule, str]:
+    """A reduce-chain chunk arrives as a plain receive: no fold.
+
+    The overwrite drops every upstream contribution for that chunk, so
+    the root's dataflow postcondition misses operands.
+    """
+    part = standard_partition(FIXTURE_N, FIXTURE_P)
+    sched = build_pipeline_reduce(FIXTURE_P, FIXTURE_N, part, 0, 2)
+    plan = list(sched.plans[0])
+    for i, step in enumerate(plan):
+        if isinstance(step, ReduceRecv):
+            plan[i] = Recv(step.peer, step.data, round=step.round)
+            break
+    return _replace_plan(sched, 0, plan), "missing-contribution"
+
+
 _FIXTURES: Tuple[Callable[[], Tuple[Schedule, str]], ...] = (
     all_send_first_ring,
     dropped_last_round,
@@ -136,6 +191,9 @@ _FIXTURES: Tuple[Callable[[], Tuple[Schedule, str]], ...] = (
     misrouted_block,
     oob_interval,
     clobbered_input,
+    all_send_first_chunked_ring,
+    dropped_chunk_forward,
+    pipeline_missing_fold,
 )
 
 

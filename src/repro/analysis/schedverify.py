@@ -489,3 +489,19 @@ def verify_repertoire(ps=(1, 2, 3, 4, 5, 7, 8, 48),
                         assert_valid_schedule(sched)
                         checked += 1
     return checked
+
+
+def verify_synth_repertoire(ps=(2, 3, 5, 8, 48),
+                            sizes=(1, 2, 8, 70)) -> int:
+    """Verify every synthesized candidate (chunked transforms and
+    pipelined chains) across a (p, n) grid; returns the number of
+    schedules checked.  The static-checks gate sweeps this alongside
+    :func:`verify_repertoire` so ``synth/...`` names meet the same bar
+    as the hand repertoire."""
+    from repro.sched.synth import synth_repertoire
+
+    checked = 0
+    for sched in synth_repertoire(ps=ps, sizes=sizes):
+        assert_valid_schedule(sched)
+        checked += 1
+    return checked

@@ -2,13 +2,17 @@
 
 Everything else in :mod:`repro.bench` measures *simulated* time; this
 module measures *host* time, producing the repo's performance trajectory
-(``BENCH_wallclock.json``).  Two metric families:
+(``BENCH_wallclock.json``).  Three metric families:
 
 * **kernel events/sec** — one representative collective simulation, timed;
   the event count comes from
   :attr:`repro.sim.engine.Simulator.events_processed`.  This is the
   per-point cost that the LatencyModel memoization and the sim-kernel
   fast paths optimize.
+* **synth candidates/sec** — a representative synthesis search
+  (:func:`repro.sched.synth.synthesize` over a small grid) against a
+  cold model; the per-candidate pricing cost that the two-level cost
+  memoization keeps around a millisecond.
 * **sweep wall-clock** — a small Fig.-9-style sweep executed three ways:
   cold sequential (``jobs=1``, no cache), cold parallel (``--jobs`` N, no
   cache), and warm (second run against a freshly populated cache).  All
@@ -86,6 +90,45 @@ def kernel_events_metric(kind: str = "allreduce",
     return best
 
 
+def synth_search_metric(kinds: Sequence[str] = ("bcast", "scan",
+                                                "allreduce"),
+                        ps: Sequence[int] = (8, 48),
+                        sizes: Sequence[int] = (64, 1024),
+                        repeats: int = 3) -> dict:
+    """Time the synthesis search; report the best candidates/sec.
+
+    One cold model per repeat (the memoized cost model is the thing
+    being measured — a warm model would only time the dict lookups).
+    This is the per-candidate price that keeps ``python -m repro tune``
+    interactive with the synthesized repertoire in the running.
+    """
+    from repro.sched.synth import default_model, synthesize
+
+    best: Optional[dict] = None
+    for _ in range(repeats):
+        model = default_model()
+        candidates = 0
+        started = time.perf_counter()
+        for kind in kinds:
+            for p in ps:
+                for n in sizes:
+                    result = synthesize(kind, p, n, model)
+                    candidates += len(result.candidates)
+        seconds = time.perf_counter() - started
+        sample = {
+            "kinds": list(kinds), "ps": list(ps), "sizes": list(sizes),
+            "points": len(kinds) * len(ps) * len(sizes),
+            "candidates": candidates,
+            "seconds": round(seconds, 6),
+            "candidates_per_second": round(candidates / seconds),
+        }
+        if best is None or (sample["candidates_per_second"]
+                            > best["candidates_per_second"]):
+            best = sample
+    best["repeats"] = repeats
+    return best
+
+
 def sweep_wallclock(kind: str = SMOKE_KIND,
                     stacks: Sequence[str] = SMOKE_STACKS,
                     sizes: Sequence[int] = SMOKE_SIZES,
@@ -138,6 +181,7 @@ def collect_baseline(*, smoke: bool = True, jobs: Optional[int] = None,
         sizes = tuple(range(500, 701, 7))
     kernel = kernel_events_metric(cores=cores, size=sizes[-1],
                                   repeats=3 if smoke else 5)
+    synth = synth_search_metric(repeats=3 if smoke else 5)
     sweep_record = sweep_wallclock(sizes=sizes, cores=cores, jobs=jobs)
     return {
         "schema": SCHEMA,
@@ -151,6 +195,7 @@ def collect_baseline(*, smoke: bool = True, jobs: Optional[int] = None,
             "numpy": np.__version__,
         },
         "kernel": kernel,
+        "synth": synth,
         "sweeps": [sweep_record],
     }
 
@@ -170,6 +215,12 @@ def format_baseline(data: dict) -> str:
         f"{kernel['kind']}/{kernel['stack']} n={kernel['size']} "
         f"p={kernel['cores']})",
     ]
+    synth = data.get("synth")
+    if synth:
+        lines.append(
+            f"synth : {synth['candidates_per_second']:,} candidates/s "
+            f"({synth['candidates']} candidates over {synth['points']} "
+            f"points in {synth['seconds']:.3f}s, cold model)")
     for sw in data["sweeps"]:
         lines.append(
             f"sweep : {sw['kind']} x {len(sw['stacks'])} stacks x "

@@ -13,6 +13,9 @@ Examples::
     python -m repro bench allreduce --stacks blocking mpb --jobs 4
     python -m repro bench --smoke
     python -m repro tune --cores 8 48 --sizes 16,64,256,600
+    python -m repro tune --kinds scan bcast --cores 8
+    python -m repro synth --smoke
+    python -m repro synth --kinds scan --cores 48 --sizes 1024 --frontier
     python -m repro gcmc --stack mpb --cycles 5
     python -m repro profile allreduce --stack mpb --sizes 1024
     python -m repro chaos --profile heavy --seeds 1:6 --trace-out chaos
@@ -277,11 +280,13 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
 
 
 def _cmd_tune(args: argparse.Namespace) -> int:
+    import json
     import pathlib
 
     from repro.sched.select import (
         DEFAULT_PS,
         DEFAULT_SIZES,
+        SelectionTable,
         build_selection_table,
     )
 
@@ -289,16 +294,92 @@ def _cmd_tune(args: argparse.Namespace) -> int:
     ps = tuple(args.cores) if args.cores else DEFAULT_PS
     sizes = (tuple(_parse_sizes(args.sizes)) if args.sizes
              else DEFAULT_SIZES)
-    table = build_selection_table(kinds, ps, sizes)
+    table = build_selection_table(kinds, ps, sizes,
+                                  synth=not args.no_synth)
+    tuned = sum(len(v) for v in table.entries.values())
+    partial = bool(args.kinds or args.cores or args.sizes)
+    out = pathlib.Path(args.out) if args.out else None
+    if partial and not args.fresh:
+        # A filtered run only re-tunes the requested slice; overlay it on
+        # the existing table so the other points survive.
+        try:
+            existing = SelectionTable.load(out)
+        except (OSError, ValueError, json.JSONDecodeError):
+            existing = None
+        if existing is not None:
+            existing.merge(table)
+            table = existing
+            print(f"merged {tuned} re-tuned entries into the existing "
+                  f"table (use --fresh to start over)")
     for kind in table.kinds():
         counts: dict[str, int] = {}
         for algo in table.entries[kind].values():
             counts[algo] = counts.get(algo, 0) + 1
         summary = ", ".join(f"{a} x{c}" for a, c in sorted(counts.items()))
         print(f"  {kind:<15} {summary}")
-    path = table.save(pathlib.Path(args.out) if args.out else None)
+    path = table.save(out)
     entries = sum(len(v) for v in table.entries.values())
     print(f"wrote {path} ({entries} entries)")
+    return 0
+
+
+#: The `synth --smoke` grid: every pipelinable kind plus one partitioned
+#: kind, small rank counts (odd + power of two), two sizes — enough to
+#: exercise every candidate family through the verifier in seconds.
+SYNTH_SMOKE_KINDS = ("bcast", "reduce", "scan", "allreduce")
+SYNTH_SMOKE_PS = (2, 5, 8)
+SYNTH_SMOKE_SIZES = (8, 64)
+
+
+def _cmd_synth(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.sched.synth import default_model, synthesize
+
+    if args.smoke:
+        kinds = SYNTH_SMOKE_KINDS
+        ps, sizes, verify = SYNTH_SMOKE_PS, SYNTH_SMOKE_SIZES, True
+    else:
+        kinds = tuple(args.kinds) if args.kinds else SCHEDULED_KINDS
+        ps = tuple(args.cores) if args.cores else (2, 8, 48)
+        sizes = (tuple(_parse_sizes(args.sizes)) if args.sizes
+                 else (8, 64, 1024))
+        verify = args.verify
+    model = default_model()
+    points = priced = wins = 0
+    started = time.perf_counter()
+    for kind in kinds:
+        for p in ps:
+            if p > model.config.num_cores:
+                print(f"  (skipping p={p}: chip has "
+                      f"{model.config.num_cores} cores)")
+                continue
+            for n in sizes:
+                res = synthesize(kind, p, n, model,
+                                 blocking=args.blocking, verify=verify)
+                points += 1
+                priced += len(res.candidates)
+                best, hand = res.best, res.best_hand
+                line = (f"{kind:<14} p={p:<3} n={n:<5} "
+                        f"best {best.name} ({best.cost / 1e6:.1f}us est)")
+                if best.synthesized:
+                    wins += 1
+                    line += (f"  beats {hand.name} "
+                             f"({hand.cost / 1e6:.1f}us, "
+                             f"{hand.cost / best.cost:.2f}x)")
+                print(line)
+                if args.frontier:
+                    for c in res.frontier:
+                        print(f"    frontier {c.name:<30} "
+                              f"lat {c.latency_cost / 1e6:8.2f}us  "
+                              f"bw {c.cost / 1e6:8.2f}us  "
+                              f"rounds {c.rounds}")
+    wall = time.perf_counter() - started
+    print(f"priced {priced} candidates over {points} points in "
+          f"{wall:.2f}s ({priced / wall:.0f} candidates/s"
+          + ("; synthesized candidates verified" if verify else "")
+          + ")")
+    print(f"synthesized winner at {wins}/{points} points")
     return 0
 
 
@@ -607,7 +688,42 @@ def build_parser() -> argparse.ArgumentParser:
     ptune.add_argument("--out", default=None,
                        help="output path (default: "
                             "benchmarks/results/selection_table.json)")
+    ptune.add_argument("--fresh", action="store_true",
+                       help="with --kinds/--cores/--sizes: write only the "
+                            "re-tuned slice instead of merging it into "
+                            "the existing table")
+    ptune.add_argument("--no-synth", action="store_true",
+                       help="hand builders only (reproduce the pre-"
+                            "synthesis tables)")
     ptune.set_defaults(func=_cmd_tune)
+
+    psynth = sub.add_parser(
+        "synth",
+        help="search the synthesized schedule space (chunked transforms "
+             "+ pipelined chains)")
+    psynth.add_argument("--kinds", nargs="+",
+                        choices=list(SCHEDULED_KINDS),
+                        help="collective kinds (default: every scheduled "
+                             "kind)")
+    psynth.add_argument("--cores", nargs="+", type=int,
+                        help="rank counts to search (default: 2 8 48)")
+    psynth.add_argument("--sizes", default=None,
+                        help="start:stop:step or comma list "
+                             "(default: 8,64,1024)")
+    psynth.add_argument("--verify", action="store_true",
+                        help="push every synthesized candidate through "
+                             "the static verifier and the numpy "
+                             "interpreter before ranking it")
+    psynth.add_argument("--blocking", action="store_true",
+                        help="price for the blocking (RCCE rendezvous) "
+                             "stack instead of the non-blocking ones")
+    psynth.add_argument("--frontier", action="store_true",
+                        help="print the latency/bandwidth Pareto "
+                             "frontier at every point")
+    psynth.add_argument("--smoke", action="store_true",
+                        help="small fixed grid with verification on "
+                             "(the CI gate)")
+    psynth.set_defaults(func=_cmd_synth)
 
     plint = sub.add_parser(
         "lint",

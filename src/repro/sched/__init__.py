@@ -4,8 +4,10 @@ One algorithm repertoire, expressed as data (:mod:`repro.sched.ir`),
 built by pure functions (:mod:`repro.sched.builders`), executed by a
 single lowering engine on every point-to-point stack
 (:mod:`repro.sched.engine`), priced by an analytic cost model
-(:mod:`repro.sched.cost`) and auto-selected per problem size
-(:mod:`repro.sched.select`).
+(:mod:`repro.sched.cost`), auto-selected per problem size
+(:mod:`repro.sched.select`), and widened beyond the hand repertoire by
+the chunked/pipelined synthesizer (:mod:`repro.sched.chunking`,
+:mod:`repro.sched.synth`).
 """
 
 from repro.sched.builders import (
@@ -15,6 +17,11 @@ from repro.sched.builders import (
     all_schedules,
     build_schedule,
     builder_names,
+)
+from repro.sched.chunking import (
+    PIPELINE_BUILDERS,
+    chunk_bounds,
+    chunk_schedule,
 )
 from repro.sched.engine import parse_sched_algo, run_schedule, schedule_for
 from repro.sched.ir import (
@@ -29,6 +36,11 @@ from repro.sched.ir import (
     Send,
     Step,
 )
+from repro.sched.synth import (
+    build_synth_schedule,
+    candidate_names,
+    synthesize,
+)
 
 __all__ = [
     "BUILDERS",
@@ -37,6 +49,7 @@ __all__ = [
     "DEFAULT_ALGOS",
     "Exchange",
     "Interval",
+    "PIPELINE_BUILDERS",
     "Recv",
     "ReduceRecv",
     "Rotate",
@@ -46,8 +59,13 @@ __all__ = [
     "Step",
     "all_schedules",
     "build_schedule",
+    "build_synth_schedule",
     "builder_names",
+    "candidate_names",
+    "chunk_bounds",
+    "chunk_schedule",
     "parse_sched_algo",
     "run_schedule",
     "schedule_for",
+    "synthesize",
 ]

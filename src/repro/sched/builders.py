@@ -599,15 +599,27 @@ def build_schedule(kind: str, name: str, p: int, n: int, *,
     (obtained from the communicator so the stack's partitioner — the
     paper's optimization C — is respected); whole-vector algorithms
     ignore it.  ``root`` matters for ``reduce`` and ``bcast`` only.
+
+    ``synth/``-prefixed names resolve through the synthesizer's
+    parameterized families (:mod:`repro.sched.synth`) instead of this
+    registry, so synthesized winners are reachable wherever a builder
+    name is (``algo="sched:synth/..."``, selection tables, the tuned
+    stack).
     """
     if kind not in BUILDERS:
         raise KeyError(
             f"no schedule builders for collective kind {kind!r}; "
             f"known: {sorted(BUILDERS)}")
+    if name.startswith("synth/"):
+        from repro.sched.synth import build_synth_schedule
+
+        return build_synth_schedule(kind, name, p, n, part=part,
+                                    root=root)
     if name not in BUILDERS[kind]:
         raise KeyError(
             f"unknown {kind} schedule {name!r}; "
-            f"known: {builder_names(kind)}")
+            f"known: {builder_names(kind)} plus synthesized "
+            f"'synth/...' names")
     sizes = part.sizes if part is not None else None
     return _build_cached(kind, name, p, n, sizes, root)
 

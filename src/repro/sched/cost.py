@@ -269,6 +269,49 @@ def _step_cost_hw(model: LatencyModel, step, rank: int, *,
     raise TypeError(f"unknown schedule step {step!r}")
 
 
+def schedule_cost_key(sched: Schedule, *, blocking: bool,
+                      overhead: Optional[SoftwareOverhead]) -> tuple:
+    """Memo key for one whole-schedule estimate.
+
+    Includes everything the estimate is a function of: the schedule
+    identity ``(kind, name, p, n)``, the partition block sizes and root
+    it was built with, the **chunk layout** (``meta["chunks"]`` — a
+    chunked variant must never collide with its base builder or with a
+    different chunk count, even though all share the base's step
+    shapes), the pricing regime, and a structural hash of the plans —
+    so a hand-mutated schedule (the verifier's broken fixtures) can
+    never be served its pristine namesake's estimate.
+    """
+    meta = sched.meta
+    sizes = meta.get("part_sizes")
+    return ("schedcost", sched.kind, sched.name, sched.p, sched.n,
+            tuple(sizes) if sizes is not None else None,
+            meta.get("root"), meta.get("chunks"), hash(sched.plans),
+            blocking, overhead)
+
+
+def invalidate_schedule_costs(model: LatencyModel) -> int:
+    """Drop every memoized whole-schedule estimate from ``model``.
+
+    The mirror of :meth:`~repro.hw.timing.LatencyModel.invalidate` for
+    the schedule level: the estimates live inside the model's own
+    per-erratum-level memo, so a full ``model.invalidate()`` (config
+    mutation) already clears them — this narrower hook is for when the
+    *schedule* side changes (a transform under development, a rebuilt
+    repertoire) while the hardware latencies are still good.  Returns
+    the number of entries dropped (both erratum levels).
+    """
+    dropped = 0
+    for memo in model._memo:
+        stale = [key for key in memo
+                 if isinstance(key, tuple) and key
+                 and key[0] == "schedcost"]
+        for key in stale:
+            del memo[key]
+        dropped += len(stale)
+    return dropped
+
+
 def estimate_schedule_cost(sched: Schedule, model: LatencyModel, *,
                            blocking: bool = False,
                            overhead: Optional[SoftwareOverhead] = None) -> int:
@@ -280,7 +323,22 @@ def estimate_schedule_cost(sched: Schedule, model: LatencyModel, *,
     With ``overhead`` set, every message side additionally pays the
     stack's per-call software cost and the total includes one
     collective-layer entry charge (``overhead.call_ps``).
+
+    Whole-schedule results are memoized in the model's per-erratum
+    table under :func:`schedule_cost_key` — the synthesizer prices the
+    same candidates across repeated searches and the tuned stack's
+    fallback prices per call site, so the second look-up of any
+    ``(schedule, regime)`` pair is a dict hit.
     """
+    sched_memo = (model._memo[model.config.erratum_enabled]
+                  if model._cache_enabled else None)
+    cache_key = None
+    if sched_memo is not None:
+        cache_key = schedule_cost_key(sched, blocking=blocking,
+                                      overhead=overhead)
+        cached = sched_memo.get(cache_key)
+        if cached is not None:
+            return cached
     # phase key -> rank -> accumulated cost.  Phases are ordered by
     # first appearance on any rank; untagged prologue/epilogue steps get
     # sentinel keys that sort before/after every real round.
@@ -363,4 +421,6 @@ def estimate_schedule_cost(sched: Schedule, model: LatencyModel, *,
     total = sum(max(phases[key].values()) for key in order)
     if overhead is not None:
         total += overhead.call_ps
+    if cache_key is not None:
+        sched_memo[cache_key] = total
     return total

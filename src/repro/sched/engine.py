@@ -163,9 +163,19 @@ def _run_exchange(comm: "Communicator", env: "CoreEnv", step: Exchange,
 
 def schedule_for(comm: "Communicator", kind: str, name: str, p: int,
                  n: int, root: int = 0) -> Schedule:
-    """Resolve the schedule instance for one collective call."""
+    """Resolve the schedule instance for one collective call.
+
+    A synthesized chunked transform inherits its base builder's
+    partition behavior (``synth/rsag+c4`` consumes the communicator's
+    block partition exactly like ``rsag`` does); pipelines take none.
+    """
+    effective = name
+    if name.startswith("synth/"):
+        from repro.sched.synth import base_builder
+
+        effective = base_builder(kind, name)
     part = (comm.partition(n, p)
-            if (kind, name) in _PARTITIONED else None)
+            if (kind, effective) in _PARTITIONED else None)
     return build_schedule(kind, name, p, n, part=part, root=root)
 
 

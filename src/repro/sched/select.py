@@ -54,17 +54,41 @@ def default_table_path() -> pathlib.Path:
     return repo_root / "benchmarks" / "results" / "selection_table.json"
 
 
-def select_algo(kind: str, p: int, n: int, model: LatencyModel, *,
-                blocking: bool = False) -> str:
-    """The cheapest builder for one ``(kind, p, n)`` point.
+def known_algorithm(kind: str, name: str) -> bool:
+    """True iff ``name`` resolves for ``kind`` — a hand builder or a
+    well-formed synthesized ``synth/...`` name."""
+    if name in builder_names(kind):
+        return True
+    if name.startswith("synth/"):
+        from repro.sched.synth import parse_synth_name
 
-    Ties break towards the alphabetically first name so the table is
-    deterministic across runs and machines.
+        try:
+            parse_synth_name(kind, name)
+        except KeyError:
+            return False
+        return True
+    return False
+
+
+def select_algo(kind: str, p: int, n: int, model: LatencyModel, *,
+                blocking: bool = False, synth: bool = True) -> str:
+    """The cheapest algorithm for one ``(kind, p, n)`` point.
+
+    Candidates are the hand builders plus (with ``synth``, the default)
+    the synthesized repertoire — chunked transforms and pipelined
+    chains, :func:`repro.sched.synth.candidate_names`.  Ties break
+    towards the alphabetically first name so the table is deterministic
+    across runs and machines.
     """
+    from repro.sched.synth import candidate_names
+
     part = balanced_partition(n, p)
+    names: list[str] = list(builder_names(kind))
+    if synth:
+        names += candidate_names(kind, p, n)
     best_name: Optional[str] = None
     best_cost = 0
-    for name in builder_names(kind):
+    for name in sorted(names):
         sched = build_schedule(kind, name, p, n, part=part)
         cost = estimate_schedule_cost(sched, model, blocking=blocking)
         if best_name is None or cost < best_cost:
@@ -103,6 +127,28 @@ class SelectionTable:
 
     def kinds(self) -> tuple[str, ...]:
         return tuple(sorted(self.entries))
+
+    def merge(self, other: "SelectionTable") -> None:
+        """Overlay ``other``'s entries (and grid metadata) onto this table.
+
+        The partial-regeneration primitive behind ``python -m repro tune
+        --kinds/--cores``: points tuned by ``other`` replace this
+        table's picks, every untouched point survives, and the meta grid
+        lists grow to the union so the provenance of a merged table
+        stays readable.
+        """
+        for kind, points in other.entries.items():
+            self.entries.setdefault(kind, {}).update(points)
+        for key in ("ps", "sizes"):
+            ours = self.meta.get(key)
+            theirs = other.meta.get(key)
+            if ours is not None and theirs is not None:
+                self.meta[key] = sorted(set(ours) | set(theirs))
+            elif theirs is not None:
+                self.meta[key] = list(theirs)
+        for key, value in other.meta.items():
+            if key not in ("ps", "sizes"):
+                self.meta[key] = value
 
     # -- persistence -----------------------------------------------------
     def to_json(self) -> str:
@@ -148,8 +194,14 @@ def build_selection_table(
         ps: Sequence[int] = DEFAULT_PS,
         sizes: Sequence[int] = DEFAULT_SIZES,
         config: Optional[SCCConfig] = None, *,
-        blocking: bool = False) -> SelectionTable:
-    """Price the repertoire over a ``(kind, p, n)`` grid and keep winners."""
+        blocking: bool = False, synth: bool = True) -> SelectionTable:
+    """Price the repertoire over a ``(kind, p, n)`` grid and keep winners.
+
+    With ``synth`` (the default) the synthesized candidates compete at
+    every point, so chunked/pipelined winners land in the table as
+    ``synth/...`` names; ``synth=False`` reproduces the hand-only
+    tables of earlier revisions.
+    """
     config = config if config is not None else SCCConfig()
     topology = default_topology(config.mesh_cols, config.mesh_rows,
                                 config.cores_per_tile)
@@ -160,6 +212,7 @@ def build_selection_table(
         "sizes": list(sizes),
         "blocking": blocking,
         "cores": config.num_cores,
+        "synth": synth,
     })
     for kind in kinds:
         for p in ps:
@@ -168,7 +221,8 @@ def build_selection_table(
             for n in sizes:
                 table.record(kind, p, n,
                              select_algo(kind, p, n, model,
-                                         blocking=blocking))
+                                         blocking=blocking,
+                                         synth=synth))
     return table
 
 
@@ -207,7 +261,7 @@ class TunedCommunicator(Communicator):
         """Resolve the schedule name for one call (``sched:`` prefixed)."""
         table = self._load_table()
         name = table.pick(kind, p, n) if table is not None else None
-        if name is None or name not in builder_names(kind):
+        if name is None or not known_algorithm(kind, name):
             key = (kind, p, n)
             name = self._fallback_picks.get(key)
             if name is None:

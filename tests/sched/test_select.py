@@ -24,6 +24,7 @@ from repro.sched.select import (
     TunedCommunicator,
     build_selection_table,
     default_table_path,
+    known_algorithm,
     select_algo,
 )
 
@@ -61,10 +62,10 @@ class TestCostModel:
 
 
 class TestSelectAlgo:
-    def test_returns_known_builder(self, model):
+    def test_returns_known_algorithm(self, model):
         for kind in SCHEDULED_KINDS:
             name = select_algo(kind, 8, 64, model)
-            assert name in builder_names(kind)
+            assert known_algorithm(kind, name)
 
     def test_trees_short_pipelines_long(self, model):
         assert select_algo("allreduce", 8, 2, model) in (
@@ -72,8 +73,21 @@ class TestSelectAlgo:
         assert select_algo("allreduce", 8, 1024, model) in (
             "rsag", "recursive_halving")
         assert select_algo("bcast", 8, 2, model) == "binomial"
+        # With the synthesized repertoire in the running, a pipelined
+        # chain wins the long-vector bcast point; the hand-only search
+        # still picks the paper's two-phase tree.
         assert select_algo("bcast", 8, 1024, model) == \
+            "synth/pipeline_c32"
+        assert select_algo("bcast", 8, 1024, model, synth=False) == \
             "scatter_allgather"
+
+    def test_known_algorithm_grammar(self):
+        assert known_algorithm("allreduce", "rsag")
+        assert known_algorithm("allreduce", "synth/rsag+c4")
+        assert known_algorithm("scan", "synth/pipeline_c8")
+        assert not known_algorithm("allreduce", "mpich")
+        assert not known_algorithm("allreduce", "synth/bogus+c4")
+        assert not known_algorithm("allgather", "synth/pipeline_c8")
 
 
 class TestSelectionTable:
@@ -110,7 +124,31 @@ class TestSelectionTable:
         assert set(table.entries["bcast"]) == {
             (2, 4), (2, 600), (8, 4), (8, 600)}
         for algo in table.entries["bcast"].values():
+            assert known_algorithm("bcast", algo)
+
+    def test_build_hand_only(self):
+        table = build_selection_table(["bcast"], ps=(8,), sizes=(600,),
+                                      synth=False)
+        assert table.meta["synth"] is False
+        for algo in table.entries["bcast"].values():
             assert algo in builder_names("bcast")
+
+    def test_merge_overlays_entries_and_meta(self):
+        base = self.make()
+        base.meta = {"ps": [8, 48], "sizes": [4, 64], "synth": False}
+        part = SelectionTable(meta={"ps": [4], "sizes": [64],
+                                    "synth": True})
+        part.record("allreduce", 8, 64, "synth/rsag+c2")
+        part.record("bcast", 8, 64, "binomial")
+        base.merge(part)
+        # re-tuned point replaced, untouched points survive
+        assert base.pick("allreduce", 8, 64) == "synth/rsag+c2"
+        assert base.pick("allreduce", 8, 4) == "recursive_doubling"
+        assert base.pick("allreduce", 48, 64) == "recursive_halving"
+        assert base.pick("bcast", 8, 64) == "binomial"
+        assert base.meta["ps"] == [4, 8, 48]
+        assert base.meta["sizes"] == [4, 64]
+        assert base.meta["synth"] is True
 
     def test_committed_table_loads(self):
         # benchmarks/results/selection_table.json is checked in;
@@ -118,8 +156,20 @@ class TestSelectionTable:
         table = SelectionTable.load(default_table_path())
         assert set(table.kinds()) == set(SCHEDULED_KINDS)
         for size in DEFAULT_SIZES:
-            assert table.pick("allreduce", 48, size) in \
-                builder_names("allreduce")
+            assert known_algorithm("allreduce",
+                                   table.pick("allreduce", 48, size))
+
+    def test_committed_table_has_synth_winners(self):
+        # The acceptance artifact of the synthesis PR: at least one
+        # synthesized schedule out-prices every hand algorithm somewhere
+        # in the committed grid.
+        table = SelectionTable.load(default_table_path())
+        assert table.meta.get("synth") is True
+        synth_picks = {algo
+                       for points in table.entries.values()
+                       for algo in points.values()
+                       if algo.startswith("synth/")}
+        assert synth_picks, "no synthesized winner in the committed table"
 
 
 class TestRegistry:
@@ -164,11 +214,17 @@ class TestTunedStack:
         assert comm.pick_algo("allreduce", 4, 16) == \
             "sched:recursive_doubling"
 
+    def test_pick_accepts_synth_table_entry(self):
+        table = SelectionTable()
+        table.record("scan", 4, 64, "synth/pipeline_c4")
+        _, comm = self.make(table=table)
+        assert comm.pick_algo("scan", 4, 64) == "sched:synth/pipeline_c4"
+
     def test_pick_falls_back_to_cost_model(self, tmp_path):
         _, comm = self.make(table_path=tmp_path / "missing.json")
         name = comm.pick_algo("allreduce", 4, 16)
         assert name.startswith("sched:")
-        assert name.removeprefix("sched:") in builder_names("allreduce")
+        assert known_algorithm("allreduce", name.removeprefix("sched:"))
 
     def test_collectives_correct(self):
         machine, comm = self.make()

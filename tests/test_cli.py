@@ -133,3 +133,65 @@ class TestBenchCommand:
     def test_bench_rejects_unknown_stack(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["bench", "--stacks", "openmpi"])
+
+
+class TestSynthCommand:
+    def test_synth_one_point_with_frontier(self, capsys):
+        assert main(["synth", "--kinds", "scan", "--cores", "5",
+                     "--sizes", "64", "--frontier", "--verify"]) == 0
+        out = capsys.readouterr().out
+        assert "best " in out
+        assert "frontier" in out
+        assert "candidates/s" in out
+        assert "verified" in out
+
+    def test_synth_smoke(self, capsys):
+        assert main(["synth", "--smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "synthesized candidates verified" in out
+        assert "synthesized winner at" in out
+
+    def test_synth_rejects_unknown_kind(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["synth", "--kinds", "gather"])
+
+
+class TestTuneCommand:
+    def test_partial_retune_merges(self, capsys, tmp_path):
+        out = tmp_path / "table.json"
+        assert main(["tune", "--kinds", "scan", "--cores", "2", "4",
+                     "--sizes", "8,64", "--out", str(out),
+                     "--fresh"]) == 0
+        capsys.readouterr()
+        assert main(["tune", "--kinds", "bcast", "--cores", "4",
+                     "--sizes", "64", "--out", str(out)]) == 0
+        merged = capsys.readouterr().out
+        assert "merged 1 re-tuned entries" in merged
+
+        from repro.sched.select import SelectionTable
+        table = SelectionTable.load(out)
+        assert set(table.kinds()) == {"scan", "bcast"}
+        assert len(table.entries["scan"]) == 4
+        assert table.meta["ps"] == [2, 4]
+        assert table.meta["sizes"] == [8, 64]
+
+    def test_fresh_discards_existing(self, capsys, tmp_path):
+        out = tmp_path / "table.json"
+        assert main(["tune", "--kinds", "scan", "--cores", "2",
+                     "--sizes", "8", "--out", str(out)]) == 0
+        assert main(["tune", "--kinds", "bcast", "--cores", "2",
+                     "--sizes", "8", "--out", str(out), "--fresh"]) == 0
+        from repro.sched.select import SelectionTable
+        assert SelectionTable.load(out).kinds() == ("bcast",)
+
+    def test_no_synth_reproduces_hand_tables(self, capsys, tmp_path):
+        from repro.sched.builders import builder_names
+        from repro.sched.select import SelectionTable
+
+        out = tmp_path / "table.json"
+        assert main(["tune", "--kinds", "scan", "--cores", "8",
+                     "--sizes", "1024", "--out", str(out), "--fresh",
+                     "--no-synth"]) == 0
+        table = SelectionTable.load(out)
+        for algo in table.entries["scan"].values():
+            assert algo in builder_names("scan")

@@ -81,12 +81,18 @@ def _run_sched_verify() -> str:
     from repro.analysis.sched_fixtures import broken_schedules
     from repro.analysis.schedverify import (ScheduleVerifyError,
                                             verify_repertoire,
-                                            verify_schedule)
+                                            verify_schedule,
+                                            verify_synth_repertoire)
 
     try:
         checked = verify_repertoire()
     except ScheduleVerifyError as err:
         print(f"FAIL sched-verify (shipped repertoire)\n{err}")
+        return "FAIL"
+    try:
+        checked += verify_synth_repertoire()
+    except ScheduleVerifyError as err:
+        print(f"FAIL sched-verify (synthesized repertoire)\n{err}")
         return "FAIL"
     missed = []
     for name, (sched, rule) in broken_schedules().items():
