@@ -18,8 +18,16 @@ in.  This package catches those classes of bug mechanically:
   ``span(...)`` only used as a context manager, paired ``.begin``/.end``
   trace tags, no float equality on virtual-time values, no unused
   imports.
+* :mod:`repro.analysis.races` — a **vector-clock happens-before race
+  detector** plus an **adversarial interleaving explorer** (``python -m
+  repro race``): conflicting MPB/flag accesses unordered by
+  happens-before are candidate races, and each candidate is re-executed
+  under bounded timing perturbations until it reorders into a confirmed
+  counterexample or exhausts the budget as benign.  Same hook slot and
+  zero-overhead contract as the sanitizer.
 * :mod:`repro.analysis.fixtures` — known-bad SPMD programs that the
-  sanitizer must flag (the subsystem's own regression corpus).
+  sanitizer must flag, and known-racy ones (``RACE_FIXTURES``) the race
+  detector must flag (the subsystem's own regression corpus).
 * :mod:`repro.analysis.schedverify` — a **static schedule verifier**
   for the schedule-IR engine (:mod:`repro.sched`): send/recv matching,
   interval bounds, deadlock freedom under the blocking rendezvous
@@ -34,6 +42,11 @@ catalogue and the lint rule list, and ``docs/schedules.md`` for the
 schedule verifier's rules.
 """
 
+from repro.analysis.races import (
+    RaceDetector,
+    RaceDiagnostic,
+    RaceError,
+)
 from repro.analysis.sanitizer import (
     ByteState,
     Diagnostic,
@@ -51,6 +64,9 @@ from repro.analysis.schedverify import (
 __all__ = [
     "ByteState",
     "Diagnostic",
+    "RaceDetector",
+    "RaceDiagnostic",
+    "RaceError",
     "Sanitizer",
     "SanitizerError",
     "ScheduleDiagnostic",

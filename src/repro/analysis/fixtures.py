@@ -22,7 +22,7 @@ runs do.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Generator, Optional
+from typing import TYPE_CHECKING, Callable, Generator, Optional
 
 import numpy as np
 
@@ -31,6 +31,9 @@ from repro.faults import FaultInjector, FaultPlan
 from repro.hw.machine import CoreEnv, Machine
 from repro.hw.mpb import MPBError
 from repro.rcce.transfer import get_bytes, put_bytes
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.analysis.races import RaceDetector, Scenario
 
 #: Virtual-time offsets that order the two ranks' accesses decisively
 #: (both are orders of magnitude above any single MPB access cost).
@@ -197,3 +200,197 @@ def run_fixture(fx: Fixture) -> Sanitizer:
     program = fx.builder(machine)
     machine.run_spmd(program, ranks=list(range(fx.ranks)))
     return san
+
+
+# ---------------------------------------------------------------------- #
+# Known-racy fixtures for the happens-before detector.
+#
+# Unlike the sanitizer fixtures above (whose 10/50 us offsets make the
+# misbehaviour unambiguous in the one observed schedule), these keep the
+# two unordered accesses only a few hundred nanoseconds apart: close
+# enough that the interleaving explorer's bounded timing perturbations
+# (mesh jitter, port congestion, flag staleness, core stalls — see
+# :func:`repro.analysis.races.perturbation_plans`) can actually reverse
+# them, turning the candidate into a *confirmed* race.  The
+# ``alloc-without-ack`` fixture is the deliberate exception: a reversed
+# replay of it produces no conflicting access at all, so it stays a
+# candidate the explorer classifies as benign — exercising that half of
+# the verdict logic.
+# ---------------------------------------------------------------------- #
+
+#: Orders the two unordered accesses in the unperturbed schedule while
+#: staying inside the explorer's perturbation budget (~0.6-9 us shifts).
+_NEAR_PS = 300_000          # 0.3 us
+_RACE_GAP_PS = 700_000      # 0.7 us
+_ACK_GAP_PS = 1_500_000     # 1.5 us
+_ALLOC_GAP_PS = 4_000_000   # 4 us: past the peer's full 64 B put (~2.3 us)
+
+
+def _flag_before_payload(machine: Machine):
+    region = machine.mpbs[1].alloc(_PAYLOAD.size)
+    sent = machine.flag(1, "fx.sent")
+
+    def program(env: CoreEnv) -> Generator:
+        if env.rank == 1:
+            # BUG: raises the guard flag *before* the payload it guards
+            # lands — the flag edge orders nothing.
+            yield from sent.set_by(env.core)
+            yield from put_bytes(env, region, _PAYLOAD)
+        else:
+            yield from sent.wait_set(env.core)
+            yield from env.sleep(_RACE_GAP_PS)
+            yield from get_bytes(env, region, _PAYLOAD.size)
+    return program
+
+
+def _missing_consume_ack(machine: Machine):
+    region = machine.mpbs[0].alloc(_PAYLOAD.size)
+    sent = machine.flag(0, "fx.sent")
+
+    def program(env: CoreEnv) -> Generator:
+        if env.rank == 0:
+            yield from put_bytes(env, region, _PAYLOAD)
+            yield from sent.set_by(env.core)
+            yield from env.sleep(_ACK_GAP_PS)
+            # BUG: reuses the slot with no ready hand-back from the
+            # reader — nothing orders the overwrite after the read.
+            yield from put_bytes(env, region, _PAYLOAD[::-1].copy())
+        else:
+            yield from sent.wait_set(env.core)
+            yield from get_bytes(env, region, _PAYLOAD.size)
+    return program
+
+
+def _unordered_write_write(machine: Machine):
+    region = machine.mpbs[0].alloc(_PAYLOAD.size)
+
+    def program(env: CoreEnv) -> Generator:
+        # BUG: both ranks write the same slot with no flag edge between
+        # them; only the sleep offsets pick a winner.
+        if env.rank == 0:
+            yield from put_bytes(env, region, _PAYLOAD)
+        else:
+            yield from env.sleep(_NEAR_PS)
+            yield from put_bytes(env, region, _PAYLOAD[::-1].copy())
+    return program
+
+
+def _unsynced_read(machine: Machine):
+    region = machine.mpbs[1].alloc(_PAYLOAD.size)
+
+    def program(env: CoreEnv) -> Generator:
+        if env.rank == 1:
+            yield from put_bytes(env, region, _PAYLOAD)
+        else:
+            # BUG: no flag anywhere — the read lands after the write
+            # purely because of the sleep.
+            yield from env.sleep(_RACE_GAP_PS)
+            yield from get_bytes(env, region, _PAYLOAD.size)
+    return program
+
+
+def _skipped_flag_wait(machine: Machine):
+    region = machine.mpbs[1].alloc(_PAYLOAD.size)
+    init = machine.flag(1, "fx.init")
+    sent = machine.flag(1, "fx.sent")
+
+    def program(env: CoreEnv) -> Generator:
+        if env.rank == 1:
+            yield from init.set_by(env.core)
+            yield from put_bytes(env, region, _PAYLOAD)
+            yield from sent.set_by(env.core)
+        else:
+            yield from init.wait_set(env.core)
+            yield from env.sleep(_RACE_GAP_PS)
+            # BUG: skips the sent wait — a publishing flag edge exists,
+            # the reader just never acquires it.
+            yield from get_bytes(env, region, _PAYLOAD.size)
+    return program
+
+
+def _flag_race_set_set(machine: Machine):
+    go = machine.flag(0, "fx.go")
+
+    def program(env: CoreEnv) -> Generator:
+        # BUG: two unsynchronized setters; either transition can be the
+        # one that survives.
+        if env.rank == 1:
+            yield from env.sleep(_NEAR_PS)
+        yield from go.set_by(env.core)
+    return program
+
+
+def _flag_race_set_clear(machine: Machine):
+    ack = machine.flag(0, "fx.ack")
+
+    def program(env: CoreEnv) -> Generator:
+        if env.rank == 0:
+            yield from ack.set_by(env.core)
+        else:
+            yield from env.sleep(_NEAR_PS)
+            # BUG: clears a signal it never observed being raised — in
+            # the other order the set is silently lost.
+            yield from ack.clear_by(env.core)
+    return program
+
+
+def _alloc_without_ack(machine: Machine):
+    region = machine.mpbs[0].alloc(_PAYLOAD.size)
+
+    def program(env: CoreEnv) -> Generator:
+        if env.rank == 1:
+            yield from put_bytes(env, region, _PAYLOAD)
+        else:
+            yield from env.sleep(_ALLOC_GAP_PS)
+            # BUG: recycles the slot without any completed handshake
+            # ordering it after the peer's write.
+            mpb = env.my_mpb()
+            mpb.reset_alloc()
+            mpb.alloc(_PAYLOAD.size)
+    return program
+
+
+#: Known-racy schedules and the race rule each must trigger (one fixture
+#: per rule of :data:`repro.analysis.races.RULES`).
+RACE_FIXTURES: tuple[Fixture, ...] = (
+    Fixture("flag-before-payload", ("race-guarded-payload",),
+            _flag_before_payload),
+    Fixture("missing-consume-ack", ("race-mpb-rw",), _missing_consume_ack),
+    Fixture("unordered-write-write", ("race-mpb-ww",),
+            _unordered_write_write),
+    Fixture("unsynced-read", ("race-latency-coincidence",), _unsynced_read),
+    Fixture("skipped-flag-wait", ("race-mpb-wr",), _skipped_flag_wait),
+    Fixture("flag-race-set-set", ("race-flag-set-set",), _flag_race_set_set),
+    Fixture("flag-race-set-clear", ("race-flag-set-clear",),
+            _flag_race_set_clear),
+    Fixture("alloc-without-ack", ("race-alloc-unordered",),
+            _alloc_without_ack),
+)
+
+
+def race_fixture(name: str) -> Fixture:
+    for fx in RACE_FIXTURES:
+        if fx.name == name:
+            return fx
+    raise KeyError(f"no race fixture named {name!r}; "
+                   f"have {[f.name for f in RACE_FIXTURES]}")
+
+
+def race_fixture_scenario(fx: Fixture) -> "Scenario":
+    """The fixture as an explorer :class:`~repro.analysis.races.Scenario`."""
+    from repro.analysis.races import Scenario
+
+    return Scenario(fx.name, fx.builder, ranks=fx.ranks)
+
+
+def run_race_fixture(fx: Fixture) -> "RaceDetector":
+    """Run one racy fixture under a fresh machine + race detector."""
+    from repro.analysis.races import RaceDetector
+
+    machine = Machine()
+    if fx.plan is not None:
+        FaultInjector(fx.plan).install(machine)
+    detector = RaceDetector().install(machine)
+    program = fx.builder(machine)
+    machine.run_spmd(program, ranks=list(range(fx.ranks)))
+    return detector

@@ -30,6 +30,15 @@ Rules
     are invisible to the latency model and the sanitizer.  Intentional
     sites (the MPB-direct Allreduce, the fault injector's corruption)
     carry a waiver with a rationale.
+``unattributed-access``
+    Inside the deterministic packages, MPB traffic
+    (``.write``/``.read``/``.read_into`` in the sanctioned transfer
+    layers, where ``mpb-direct-write`` does not apply) and flag
+    ``.force`` calls anywhere must carry an explicit ``actor=``
+    keyword.  An unattributed access reaches the
+    runtime monitors as ``actor=None`` — the sanitizer loses its rank
+    attribution and the happens-before race detector silently drops the
+    access from its clocks, blinding both.
 ``span-unpaired``
     ``span(...)`` must be used as a ``with`` item: the begin/end pair
     (and the sanitizer's span stack) is only balanced by the context
@@ -158,6 +167,8 @@ class _ModuleLint:
                     self._check_random(node)
                 if mpb_module:
                     self._check_direct_call(node)
+                if deterministic:
+                    self._check_unattributed(node)
                 self._check_span(node, with_items)
             elif isinstance(node, ast.Subscript) and mpb_module:
                 self._check_data_poke(node)
@@ -258,6 +269,27 @@ class _ModuleLint:
                         f".{node.func.attr}() on an MPB region outside "
                         "the transfer layer; route bytes through "
                         "repro.rcce.transfer (or waive with a rationale)")
+
+    def _check_unattributed(self, node: ast.Call) -> None:
+        if not isinstance(node.func, ast.Attribute):
+            return
+        attr = node.func.attr
+        # Direct MPB calls outside the transfer layers are already flagged
+        # wholesale by mpb-direct-write; attribution only matters where the
+        # call is sanctioned.
+        mpb_access = (attr in _DIRECT_CALLS
+                      and _in_pkgs(self.key, TRANSFER_PKGS))
+        if not mpb_access and attr != "force":
+            return
+        if any(kw.arg == "actor" for kw in node.keywords):
+            return
+        what = ("flag .force()" if attr == "force"
+                else f"MPB .{attr}()")
+        self.report(node, "unattributed-access",
+                    f"{what} without an actor= keyword; unattributed "
+                    "accesses are invisible to the sanitizer's rank "
+                    "attribution and the race detector's clocks "
+                    "(pass actor=, or waive for genuine setup)")
 
     def _check_data_poke(self, node: ast.Subscript) -> None:
         if (isinstance(node.value, ast.Attribute)

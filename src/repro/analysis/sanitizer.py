@@ -398,8 +398,14 @@ class Sanitizer:
         """A wait/read on the flag completed: the level has been seen."""
         self._flag_shadow(flag).observed = True
 
-    def on_flag_force(self, flag: "Flag", level: bool) -> None:
-        """Untimed bookkeeping write: reset tracking, no publication."""
+    def on_flag_force(self, flag: "Flag", level: bool,
+                      actor: Optional[int] = None) -> None:
+        """Untimed bookkeeping write: reset tracking, no publication.
+
+        ``actor`` (when the force models part of a charged protocol
+        access) matters to the race detector's happens-before edges; the
+        sanitizer's state-machine rules treat every force as a reset.
+        """
         shadow = self._flag_shadow(flag)
         shadow.level = level
         shadow.setter = None

@@ -2,7 +2,7 @@
 
 Everything else in :mod:`repro.bench` measures *simulated* time; this
 module measures *host* time, producing the repo's performance trajectory
-(``BENCH_wallclock.json``).  Three metric families:
+(``BENCH_wallclock.json``).  Four metric families:
 
 * **kernel events/sec** — one representative collective simulation, timed;
   the event count comes from
@@ -13,6 +13,10 @@ module measures *host* time, producing the repo's performance trajectory
   (:func:`repro.sched.synth.synthesize` over a small grid) against a
   cold model; the per-candidate pricing cost that the two-level cost
   memoization keeps around a millisecond.
+* **race-check events/sec** — the kernel point re-run under the
+  happens-before race detector (:mod:`repro.analysis.races`): the
+  throughput a ``python -m repro race`` gate point sustains, and the
+  overhead multiplier the detector's pure observation costs.
 * **sweep wall-clock** — a small Fig.-9-style sweep executed three ways:
   cold sequential (``jobs=1``, no cache), cold parallel (``--jobs`` N, no
   cache), and warm (second run against a freshly populated cache).  All
@@ -129,6 +133,48 @@ def synth_search_metric(kinds: Sequence[str] = ("bcast", "scan",
     return best
 
 
+def race_check_metric(kind: str = "allreduce",
+                      stack: str = "lightweight_balanced",
+                      size: int = 552, cores: int = 48,
+                      repeats: int = 3) -> dict:
+    """Time one collective under the happens-before race detector.
+
+    Reports detected events/sec plus the wall-clock multiplier against
+    the bare run (best-of-``repeats`` on both sides).  Virtual time and
+    event counts must be bit-identical between the two runs — the
+    detector is pure observation — so the record carries that check too.
+    The multiplier is the cost a ``python -m repro race`` gate point
+    pays; the test suite bounds it at 5x.
+    """
+    from repro.analysis.races import RaceDetector
+
+    def run(detected: bool) -> tuple[float, int, int]:
+        machine = Machine(SCCConfig())
+        if detected:
+            RaceDetector().install(machine)
+        comm = make_communicator(machine, stack)
+        rng = np.random.default_rng(20120901)
+        inputs = [rng.normal(size=size) for _ in range(cores)]
+        program = program_for(kind, comm, inputs, SUM)
+        started = time.perf_counter()
+        result = machine.run_spmd(program, ranks=list(range(cores)))
+        seconds = time.perf_counter() - started
+        return seconds, machine.sim.events_processed, int(result.values[0])
+
+    bare = min(run(False) for _ in range(repeats))
+    detected = min(run(True) for _ in range(repeats))
+    return {
+        "kind": kind, "stack": stack, "size": size, "cores": cores,
+        "events": detected[1],
+        "bare_seconds": round(bare[0], 6),
+        "detected_seconds": round(detected[0], 6),
+        "detected_events_per_second": round(detected[1] / detected[0]),
+        "overhead_multiplier": round(detected[0] / bare[0], 3),
+        "bit_identical": (bare[1], bare[2]) == (detected[1], detected[2]),
+        "repeats": repeats,
+    }
+
+
 def sweep_wallclock(kind: str = SMOKE_KIND,
                     stacks: Sequence[str] = SMOKE_STACKS,
                     sizes: Sequence[int] = SMOKE_SIZES,
@@ -182,6 +228,8 @@ def collect_baseline(*, smoke: bool = True, jobs: Optional[int] = None,
     kernel = kernel_events_metric(cores=cores, size=sizes[-1],
                                   repeats=3 if smoke else 5)
     synth = synth_search_metric(repeats=3 if smoke else 5)
+    race = race_check_metric(cores=cores, size=sizes[-1],
+                             repeats=3 if smoke else 5)
     sweep_record = sweep_wallclock(sizes=sizes, cores=cores, jobs=jobs)
     return {
         "schema": SCHEMA,
@@ -196,6 +244,7 @@ def collect_baseline(*, smoke: bool = True, jobs: Optional[int] = None,
         },
         "kernel": kernel,
         "synth": synth,
+        "race": race,
         "sweeps": [sweep_record],
     }
 
@@ -221,6 +270,12 @@ def format_baseline(data: dict) -> str:
             f"synth : {synth['candidates_per_second']:,} candidates/s "
             f"({synth['candidates']} candidates over {synth['points']} "
             f"points in {synth['seconds']:.3f}s, cold model)")
+    race = data.get("race")
+    if race:
+        lines.append(
+            f"race  : {race['detected_events_per_second']:,} events/s "
+            f"under the detector ({race['overhead_multiplier']:.2f}x "
+            f"bare; bit-identical: {race['bit_identical']})")
     for sw in data["sweeps"]:
         lines.append(
             f"sweep : {sw['kind']} x {len(sw['stacks'])} stacks x "

@@ -424,6 +424,88 @@ def _cmd_sanitize(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_race(args: argparse.Namespace) -> int:
+    from repro.analysis.races import (collective_scenario, explore,
+                                      run_detected, run_gate)
+
+    kinds = tuple(args.kinds) if args.kinds else KINDS
+    unknown = [k for k in kinds if k not in KINDS]
+    if unknown:
+        print(f"race: unknown kind(s) {unknown}; choose from "
+              f"{', '.join(KINDS)}", file=sys.stderr)
+        return 2
+    stacks = tuple(args.stacks) if args.stacks else tuple(STACKS)
+    seeds = tuple(range(1, args.seeds + 1))
+
+    if args.fixtures:
+        from repro.analysis.fixtures import (RACE_FIXTURES,
+                                             race_fixture_scenario,
+                                             run_race_fixture)
+
+        missed = 0
+        for fx in RACE_FIXTURES:
+            detector = run_race_fixture(fx)
+            rules = {d.rule for d in detector.diagnostics}
+            if not set(fx.rules) <= rules:
+                missed += 1
+                print(f"{fx.name}: MISSED expected {fx.rules}, "
+                      f"got {sorted(rules)}")
+                continue
+            line = f"{fx.name}: detected {sorted(rules)}"
+            if not args.no_explore:
+                report = explore(race_fixture_scenario(fx), seeds=seeds)
+                verdict = ("confirmed" if report.confirmed else "benign")
+                line += (f"; {verdict} after {report.runs} perturbed "
+                         "run(s)")
+                if report.confirmed:
+                    line += f" [{report.confirmed[0].perturbation}]"
+            print(line)
+        if missed:
+            print(f"race: {missed} fixture(s) undetected", file=sys.stderr)
+            return 1
+        return 0
+
+    if args.gate:
+        report = run_gate(kinds, stacks, cores=args.cores, size=args.size,
+                          seeds=seeds, synth_limit=args.synth_limit,
+                          progress=print)
+        print(f"race gate: {report.scenarios} scenario(s), "
+              f"{report.candidates} candidate(s), "
+              f"{report.confirmed} confirmed")
+        return 0 if report.clean else 1
+
+    total_confirmed = 0
+    total_candidates = 0
+    for kind in kinds:
+        for stack in stacks:
+            for cores in args.cores:
+                scenario = collective_scenario(kind, stack, cores,
+                                               args.size)
+                detector, failure = run_detected(scenario)
+                if failure is not None:
+                    print(f"{scenario.name}: baseline raised {failure}")
+                candidates = detector.candidates()
+                if not candidates:
+                    print(f"{scenario.name}: clean")
+                    continue
+                total_candidates += len(candidates)
+                print(f"{scenario.name}: {len(candidates)} candidate(s) "
+                      f"{detector.counts()}")
+                for diag in detector.diagnostics[:args.show]:
+                    print(f"  {diag}")
+                if args.no_explore:
+                    continue
+                report = explore(scenario, seeds=seeds, baseline=detector)
+                total_confirmed += len(report.confirmed)
+                for verdict in report.verdicts:
+                    print(f"  {verdict}")
+    if total_confirmed or (args.no_explore and total_candidates):
+        print(f"race: {total_candidates} candidate(s), "
+              f"{total_confirmed} confirmed", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_paper(args: argparse.Namespace) -> int:
     """One-shot reproduction digest: Fig. 6, the Section-IV chain, and a
     compact Fig. 10 (full Fig. 9 panels via `fig9`, they take minutes)."""
@@ -745,6 +827,39 @@ def build_parser() -> argparse.ArgumentParser:
     psan.add_argument("--show", type=int, default=5,
                       help="diagnostics to print per failing point")
     psan.set_defaults(func=_cmd_sanitize)
+
+    prace = sub.add_parser(
+        "race",
+        help="happens-before race detection + adversarial interleaving "
+             "explorer over the MPB flag protocol")
+    # No choices= here: argparse (< 3.12.1) rejects an empty nargs="*"
+    # list against choices, which would break bare `repro race --gate`;
+    # _cmd_race validates the names itself.
+    prace.add_argument("kinds", nargs="*", metavar="KIND",
+                       help=f"collectives to check: {', '.join(KINDS)} "
+                            "(default: all)")
+    prace.add_argument("--stacks", nargs="+", choices=list(STACKS))
+    prace.add_argument("--cores", nargs="+", type=int, default=[2, 47, 48])
+    prace.add_argument("--size", type=int, default=96,
+                       help="vector length per rank (doubles)")
+    prace.add_argument("--show", type=int, default=5,
+                       help="diagnostics to print per failing point")
+    prace.add_argument("--seeds", type=int, default=3,
+                       help="perturbation seeds per escalation level")
+    prace.add_argument("--no-explore", action="store_true",
+                       help="report candidates without re-executing them "
+                            "under timing perturbations")
+    prace.add_argument("--fixtures", action="store_true",
+                       help="run the known-racy fixture catalogue instead "
+                            "of the collective stacks")
+    prace.add_argument("--gate", action="store_true",
+                       help="clean-gate mode: kinds x stacks x cores plus "
+                            "the synthesized winners of the committed "
+                            "selection table; exit 1 on any confirmed race")
+    prace.add_argument("--synth-limit", type=int, default=None,
+                       help="cap the synthesized-winner scenarios in "
+                            "--gate (default: all of them)")
+    prace.set_defaults(func=_cmd_race)
 
     pp = sub.add_parser("paper",
                         help="one-shot digest: Fig. 6 + Section IV + Fig. 10")

@@ -122,7 +122,7 @@ def mpb_allreduce(comm: "Communicator", env: CoreEnv, sendbuf: np.ndarray,
     for half, (_sent, ready) in enumerate(prod_flags):
         if (me_core, half) not in init_done:
             init_done.add((me_core, half))
-            ready.force(True)
+            ready.force(True, actor=me_core)
 
     round_overhead = lat.core_cycles(cfg.mpb_round_overhead_cycles)
 

@@ -132,10 +132,16 @@ class Flag:
             machine.san.on_flag_observed(self, level, core.core_id)
 
     # -- untimed operations (simulation bookkeeping) -----------------------
-    def force(self, value: bool) -> None:
-        """Set the level without charging anyone (test/setup helper)."""
+    def force(self, value: bool, actor: int | None = None) -> None:
+        """Set the level without charging anyone.
+
+        ``actor`` attributes the write when the force models a flag
+        transition that is part of an already-charged protocol access
+        (the p2p announcement channel); leave it ``None`` for test/setup
+        forces that are not protocol traffic.
+        """
         if self.machine.san is not None:
-            self.machine.san.on_flag_force(self, value)
+            self.machine.san.on_flag_force(self, value, actor)
         if value:
             self.gate.set()
         else:

@@ -91,7 +91,7 @@ def announce_send(machine: Machine, src: int, dst: int, nbytes: int) -> None:
     has posted data for ``dst`` (called when the sent flag is raised)."""
     pending = machine.services.setdefault("p2p.pending", {})
     pending.setdefault(dst, []).append((src, nbytes))
-    machine.flag(dst, "p2p.incoming").force(True)
+    machine.flag(dst, "p2p.incoming").force(True, actor=src)
 
 
 def take_announcement(machine: Machine, dst: int,
@@ -109,7 +109,7 @@ def take_announcement(machine: Machine, dst: int,
         return None
     item = queue.pop(index)
     if not queue:
-        machine.flag(dst, "p2p.incoming").force(False)
+        machine.flag(dst, "p2p.incoming").force(False, actor=dst)
     return item
 
 

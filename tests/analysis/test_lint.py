@@ -87,7 +87,10 @@ class TestMpbDirectWriteRule:
         assert _rules(lint_file(path)) == {"mpb-direct-write"}
 
     def test_rcce_package_is_the_transfer_layer(self, tmp_path):
-        assert lint_file(_module(tmp_path, "rcce", self.BAD)) == []
+        # The direct call is sanctioned there (only the actor attribution
+        # rule still applies to it).
+        rules = _rules(lint_file(_module(tmp_path, "rcce", self.BAD)))
+        assert "mpb-direct-write" not in rules
 
     def test_module_without_mpb_import_exempt(self, tmp_path):
         # `.write` on arbitrary objects (files, profiles) is fine.
@@ -125,6 +128,45 @@ class TestMpbDirectWriteRule:
             "def f(region: MPBRegion, raw):\n"
             "    region.write(raw)  # repro-lint: allow=span-unpaired\n")
         assert "mpb-direct-write" in _rules(lint_file(path))
+
+
+class TestUnattributedAccessRule:
+    def test_transfer_layer_write_without_actor_flagged(self, tmp_path):
+        path = _module(tmp_path, "rcce",
+                       "def f(region, raw):\n    region.write(raw)\n")
+        assert _rules(lint_file(path)) == {"unattributed-access"}
+
+    def test_transfer_layer_write_with_actor_passes(self, tmp_path):
+        path = _module(tmp_path, "rcce",
+                       "def f(region, raw, me):\n"
+                       "    region.write(raw, actor=me)\n")
+        assert lint_file(path) == []
+
+    def test_force_without_actor_flagged_anywhere(self, tmp_path):
+        path = _module(tmp_path, "core",
+                       "def f(flag):\n    flag.force(True)\n")
+        assert _rules(lint_file(path)) == {"unattributed-access"}
+
+    def test_force_with_actor_passes(self, tmp_path):
+        path = _module(tmp_path, "core",
+                       "def f(flag, me):\n    flag.force(True, actor=me)\n")
+        assert lint_file(path) == []
+
+    def test_outside_transfer_layer_defers_to_direct_write(self, tmp_path):
+        # In `core` the raw .write is mpb-direct-write territory; the
+        # attribution rule must not double-report the same call.
+        path = _module(tmp_path, "core",
+                       "from repro.hw.mpb import MPBRegion\n\n"
+                       "def f(region: MPBRegion, raw):\n"
+                       "    region.write(raw)\n")
+        assert _rules(lint_file(path)) == {"mpb-direct-write"}
+
+    def test_waiver_for_setup_force(self, tmp_path):
+        path = _module(
+            tmp_path, "core",
+            "def f(flag):\n"
+            "    flag.force(False)  # repro-lint: allow=unattributed-access\n")
+        assert lint_file(path) == []
 
 
 class TestSpanRules:

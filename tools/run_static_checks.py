@@ -72,6 +72,7 @@ def main(argv: list[str] | None = None) -> int:
     statuses.append(status)
 
     statuses.append(_run_sched_verify())
+    statuses.append(_run_race_gate())
 
     return 1 if "FAIL" in statuses else 0
 
@@ -106,6 +107,43 @@ def _run_sched_verify() -> str:
         return "FAIL"
     print(f"PASS sched-verify ({checked} schedules verified, "
           f"{len(broken_schedules())} fixtures flagged)")
+    return "PASS"
+
+
+def _run_race_gate() -> str:
+    """Bounded race-detection smoke: every known-racy fixture must be
+    flagged with its documented rule, and a small clean subset of the
+    collective repertoire must produce zero candidates.  The full clean
+    gate (all kinds x stacks x cores + synthesized winners, with the
+    interleaving explorer) runs as ``python -m repro race --gate``."""
+    from repro.analysis.fixtures import RACE_FIXTURES, run_race_fixture
+    from repro.analysis.races import collective_scenario, run_detected
+
+    missed = []
+    for fixture in RACE_FIXTURES:
+        rules = {d.rule for d in run_race_fixture(fixture).diagnostics}
+        if not set(fixture.rules) <= rules:
+            missed.append(f"{fixture.name}: expected {fixture.rules}, "
+                          f"got {sorted(rules)}")
+    if missed:
+        print("FAIL race-gate (fixtures not flagged)")
+        for line in missed:
+            print(f"  {line}")
+        return "FAIL"
+    dirty = []
+    for stack in ("blocking", "lightweight_balanced"):
+        scenario = collective_scenario("allreduce", stack, 4, 96)
+        detector, failure = run_detected(scenario)
+        if failure is not None or detector.total_findings:
+            dirty.append(f"{scenario.name}: failure={failure}, "
+                         f"{detector.total_findings} candidate(s)")
+    if dirty:
+        print("FAIL race-gate (clean subset has candidates)")
+        for line in dirty:
+            print(f"  {line}")
+        return "FAIL"
+    print(f"PASS race-gate ({len(RACE_FIXTURES)} fixtures flagged, "
+          "clean smoke subset)")
     return "PASS"
 
 
