@@ -491,6 +491,34 @@ def verify_repertoire(ps=(1, 2, 3, 4, 5, 7, 8, 48),
     return checked
 
 
+def verify_hier_repertoire(specs=("mesh:4x4", "cluster:2x24"),
+                           sizes=(1, 8, 70)) -> int:
+    """Verify the hierarchical repertoire at the rank counts of real
+    registry topologies (non-default shapes included); returns the
+    number of schedules checked.  The static-checks gate runs this so
+    ``hier/g<G>`` names meet the same bar as the hand repertoire on
+    every shape they would be selected for."""
+    from repro.hw.topo import get_topology
+    from repro.sched.hier import HIER_KINDS, build_hier_schedule
+
+    checked = 0
+    for spec in specs:
+        p = get_topology(spec).num_cores
+        for groups in (2, 3, 4):
+            if groups > p // 2:
+                continue
+            name = f"hier/g{groups}"
+            for n in sizes:
+                for kind in HIER_KINDS:
+                    roots = (0,) if kind == "allreduce" else (0, p - 1)
+                    for root in roots:
+                        assert_valid_schedule(
+                            build_hier_schedule(kind, name, p, n,
+                                                root=root))
+                        checked += 1
+    return checked
+
+
 def verify_synth_repertoire(ps=(2, 3, 5, 8, 48),
                             sizes=(1, 2, 8, 70)) -> int:
     """Verify every synthesized candidate (chunked transforms and

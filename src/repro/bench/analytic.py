@@ -257,6 +257,14 @@ def _resolve_schedule_name(comm: "Communicator", kind: str, size: int,
     name = parse_sched_algo(algo)
     if name is None:
         name = algo  # native label; builders share the native names
+    if name.startswith("hier/"):
+        from repro.sched.hier import parse_hier_name
+
+        try:
+            parse_hier_name(kind, name)
+        except KeyError:
+            return None
+        return name
     if name not in BUILDERS.get(kind, ()):
         return None
     return name

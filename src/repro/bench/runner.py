@@ -209,12 +209,28 @@ def sweep(kind: str, stacks: Sequence[str],
           cores: Optional[int] = None, *,
           jobs: Optional[int] = None,
           cache=None, algo: Optional[str] = None,
-          engine: str = "sim") -> dict[str, list[float]]:
-    """Convenience wrapper around :class:`CollectiveBench`."""
+          engine: str = "sim",
+          topology: Optional[str] = None) -> dict[str, list[float]]:
+    """Convenience wrapper around :class:`CollectiveBench`.
+
+    ``topology`` is a registry spec (``repro.hw.topo``, e.g.
+    ``"cluster:2x24"``): every point's machine is built on that shape,
+    and ``cores`` defaults to the shape's full core count instead of
+    the benchmark default.
+    """
+    if cores is None:
+        if topology is not None:
+            from repro.hw.topo import get_topology
+
+            cores = get_topology(topology).num_cores
+        else:
+            cores = default_cores()
     bench = CollectiveBench(
         kind, stacks,
         sizes=list(sizes) if sizes is not None else default_sizes(),
-        cores=cores if cores is not None else default_cores(),
+        cores=cores,
+        config_factory=((lambda: SCCConfig(topology=topology))
+                        if topology is not None else SCCConfig),
         algo=algo,
     )
     return bench.run(jobs=jobs, cache=cache, engine=engine)

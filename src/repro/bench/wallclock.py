@@ -63,15 +63,18 @@ SMOKE_SIZES = (552, 553, 554)
 def kernel_events_metric(kind: str = "allreduce",
                          stack: str = "lightweight_balanced",
                          size: int = 552, cores: int = 48,
-                         repeats: int = 3) -> dict:
+                         repeats: int = 3,
+                         topology: Optional[str] = None) -> dict:
     """Time one collective simulation; report the best events/sec.
 
     The best of ``repeats`` runs is reported (standard micro-benchmark
     practice: the minimum is the least noisy estimator of the true cost).
+    ``topology`` builds the machine on a registry spec (e.g.
+    ``"cluster:2x24"``) instead of the default chip.
     """
     best: Optional[dict] = None
     for _ in range(repeats):
-        config = SCCConfig()
+        config = SCCConfig(topology=topology)
         machine = Machine(config)
         comm = make_communicator(machine, stack)
         rng = np.random.default_rng(20120901)
@@ -83,6 +86,7 @@ def kernel_events_metric(kind: str = "allreduce",
         events = machine.sim.events_processed
         sample = {
             "kind": kind, "stack": stack, "size": size, "cores": cores,
+            "topology": config.topology_key(),
             "events": events,
             "seconds": round(seconds, 6),
             "events_per_second": round(events / seconds),
@@ -227,6 +231,9 @@ def collect_baseline(*, smoke: bool = True, jobs: Optional[int] = None,
         sizes = tuple(range(500, 701, 7))
     kernel = kernel_events_metric(cores=cores, size=sizes[-1],
                                   repeats=3 if smoke else 5)
+    cluster = kernel_events_metric(cores=cores, size=sizes[-1],
+                                   repeats=3 if smoke else 5,
+                                   topology="cluster:2x24")
     synth = synth_search_metric(repeats=3 if smoke else 5)
     race = race_check_metric(cores=cores, size=sizes[-1],
                              repeats=3 if smoke else 5)
@@ -243,6 +250,7 @@ def collect_baseline(*, smoke: bool = True, jobs: Optional[int] = None,
             "numpy": np.__version__,
         },
         "kernel": kernel,
+        "cluster": cluster,
         "synth": synth,
         "race": race,
         "sweeps": [sweep_record],
@@ -264,6 +272,13 @@ def format_baseline(data: dict) -> str:
         f"{kernel['kind']}/{kernel['stack']} n={kernel['size']} "
         f"p={kernel['cores']})",
     ]
+    cluster = data.get("cluster")
+    if cluster:
+        lines.append(
+            f"cluster: {cluster['events_per_second']:,} events/s "
+            f"({cluster['events']:,} events in {cluster['seconds']:.3f}s; "
+            f"{cluster['kind']}/{cluster['stack']} n={cluster['size']} "
+            f"p={cluster['cores']} on {cluster['topology']})")
     synth = data.get("synth")
     if synth:
         lines.append(

@@ -10,6 +10,9 @@ Examples::
     python -m repro sweep allreduce --stacks blocking mpb --sizes 552:577:4
     python -m repro sweep allreduce --stacks tuned --sizes 552:577:4 \\
         --algorithm sched:recursive_halving
+    python -m repro sweep --topology cluster:2x24 --kinds allreduce
+    python -m repro info --topology torus:6x4
+    python -m repro tune --topology cluster:2x24
     python -m repro bench allreduce --stacks blocking mpb --jobs 4
     python -m repro bench --smoke
     python -m repro tune --cores 8 48 --sizes 16,64,256,600
@@ -55,13 +58,15 @@ def _parse_sizes(spec: str) -> list[int]:
 
 
 def _cmd_info(args: argparse.Namespace) -> int:
-    cfg = SCCConfig()
+    cfg = SCCConfig(topology=args.topology)
     machine = Machine(cfg)
     topo = machine.topology
-    print("Simulated Intel SCC (standard preset)")
+    print(f"Simulated Intel SCC (standard preset, "
+          f"topology {cfg.topology_key()!r})")
+    chips = f" x {topo.chips} chips" if topo.chips > 1 else ""
     print(f"  cores            : {cfg.num_cores} "
-          f"({cfg.mesh_cols}x{cfg.mesh_rows} tiles x "
-          f"{cfg.cores_per_tile} cores)")
+          f"({topo.cols}x{topo.rows} tiles x "
+          f"{topo.cores_per_tile} cores{chips})")
     print(f"  clocks           : core {cfg.core_freq_hz / 1e6:.0f} MHz, "
           f"mesh {cfg.mesh_freq_hz / 1e6:.0f} MHz, "
           f"DRAM {cfg.dram_freq_hz / 1e6:.0f} MHz")
@@ -114,13 +119,29 @@ def _cmd_stepwise(args: argparse.Namespace) -> int:
     return 0
 
 
+#: Compact default sizes for `sweep` when --sizes is omitted: one short
+#: vector plus the paper's 552-double application case.
+SWEEP_DEFAULT_SIZES = (64, 552)
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
-    sizes = _parse_sizes(args.sizes)
-    data = sweep(args.kind, args.stacks, sizes, cores=args.cores,
-                 algo=args.algorithm, engine=args.engine)
-    series = [Series.from_lists(stack, sizes, data[stack])
-              for stack in args.stacks]
-    print(format_series_table(series))
+    kinds = list(args.kinds) if args.kinds else (
+        [args.kind] if args.kind else [])
+    if not kinds:
+        print("sweep: name a collective (positional kind or --kinds)",
+              file=sys.stderr)
+        return 2
+    sizes = (_parse_sizes(args.sizes) if args.sizes
+             else list(SWEEP_DEFAULT_SIZES))
+    for kind in kinds:
+        data = sweep(kind, args.stacks, sizes, cores=args.cores,
+                     algo=args.algorithm, engine=args.engine,
+                     topology=args.topology)
+        if len(kinds) > 1:
+            print(f"== {kind} ==")
+        series = [Series.from_lists(stack, sizes, data[stack])
+                  for stack in args.stacks]
+        print(format_series_table(series))
     return 0
 
 
@@ -145,11 +166,17 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         return 0
 
     sizes = _parse_sizes(args.sizes) if args.sizes else default_sizes()
-    cores = args.cores if args.cores is not None else default_cores()
+    config = SCCConfig(topology=args.topology)
+    if args.cores is not None:
+        cores = args.cores
+    elif args.topology is not None:
+        cores = config.num_cores
+    else:
+        cores = default_cores()
     cache = (False if args.no_cache
              else ResultCache(args.cache_dir) if args.cache_dir else None)
     points = [SweepPoint(kind=args.kind, stack=stack, size=n, cores=cores,
-                         algo=args.algorithm)
+                         config=config, algo=args.algorithm)
               for stack in args.stacks for n in sizes]
     outcome = run_sweep(points, jobs=args.jobs, cache=cache,
                         engine=args.engine)
@@ -186,7 +213,8 @@ def _cmd_gcmc(args: argparse.Namespace) -> int:
     comm = make_communicator(machine, args.stack)
     result = run_gcmc(machine, comm, cfg, args.cycles)
     obs = result.observables
-    print(f"GCMC on 48 simulated cores, stack {args.stack!r}:")
+    print(f"GCMC on {machine.config.num_cores} simulated cores, "
+          f"stack {args.stack!r}:")
     print(f"  cycles            : {result.cycles}")
     print(f"  final energy      : {result.final_energy:.4f}")
     print(f"  final particles   : {result.final_particles}")
@@ -294,10 +322,14 @@ def _cmd_tune(args: argparse.Namespace) -> int:
     ps = tuple(args.cores) if args.cores else DEFAULT_PS
     sizes = (tuple(_parse_sizes(args.sizes)) if args.sizes
              else DEFAULT_SIZES)
-    table = build_selection_table(kinds, ps, sizes,
+    config = SCCConfig(topology=args.topology)
+    table = build_selection_table(kinds, ps, sizes, config,
                                   synth=not args.no_synth)
     tuned = sum(len(v) for v in table.entries.values())
-    partial = bool(args.kinds or args.cores or args.sizes)
+    # A --topology run tunes one shape's slot; treat it as partial so it
+    # merges into the committed table instead of replacing it.
+    partial = bool(args.kinds or args.cores or args.sizes
+                   or args.topology)
     out = pathlib.Path(args.out) if args.out else None
     if partial and not args.fresh:
         # A filtered run only re-tunes the requested slice; overlay it on
@@ -319,7 +351,13 @@ def _cmd_tune(args: argparse.Namespace) -> int:
         print(f"  {kind:<15} {summary}")
     path = table.save(out)
     entries = sum(len(v) for v in table.entries.values())
-    print(f"wrote {path} ({entries} entries)")
+    line = f"wrote {path} ({entries} entries"
+    if table.topologies:
+        extra = sum(len(v) for sub in table.topologies.values()
+                    for v in sub.entries.values())
+        line += (f" + {extra} across {len(table.topologies)} extra "
+                 f"topology slot(s)")
+    print(line + ")")
     return 0
 
 
@@ -625,8 +663,12 @@ def build_parser() -> argparse.ArgumentParser:
                     "Intel SCC' (CLUSTER 2012)")
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("info", help="describe the simulated chip"
-                   ).set_defaults(func=_cmd_info)
+    pinfo = sub.add_parser("info", help="describe the simulated chip")
+    pinfo.add_argument("--topology", default=None,
+                       help="describe a topology registry spec instead "
+                            "of the default chip (e.g. 'torus:6x4', "
+                            "'cluster:2x24')")
+    pinfo.set_defaults(func=_cmd_info)
 
     p6 = sub.add_parser("fig6", help="block-size table (Fig. 6)")
     p6.add_argument("--cores", type=int, default=48)
@@ -650,12 +692,24 @@ def build_parser() -> argparse.ArgumentParser:
     pstep.set_defaults(func=_cmd_stepwise)
 
     psweep = sub.add_parser("sweep", help="custom latency sweep")
-    psweep.add_argument("kind", choices=list(KINDS))
-    psweep.add_argument("--stacks", nargs="+", required=True,
-                        choices=list(available_stacks()))
-    psweep.add_argument("--sizes", required=True,
-                        help="start:stop:step or comma list")
+    psweep.add_argument("kind", nargs="?", choices=list(KINDS),
+                        default=None)
+    psweep.add_argument("--kinds", nargs="+", choices=list(KINDS),
+                        help="sweep several collectives in one run "
+                             "(alternative to the positional kind)")
+    psweep.add_argument("--stacks", nargs="+",
+                        choices=list(available_stacks()),
+                        default=["blocking", "lightweight_balanced"])
+    psweep.add_argument("--sizes", default=None,
+                        help="start:stop:step or comma list "
+                             "(default: 64,552)")
     psweep.add_argument("--cores", type=int, default=None)
+    psweep.add_argument("--topology", default=None,
+                        help="topology registry spec to build every "
+                             "machine on (e.g. 'mesh:4x4', "
+                             "'cluster:2x24'); --cores defaults to the "
+                             "shape's full core count — see "
+                             "docs/topologies.md")
     psweep.add_argument("--algorithm", default=None,
                         help="override the per-size algorithm selection "
                              "(native name like 'rsag', or "
@@ -681,6 +735,10 @@ def build_parser() -> argparse.ArgumentParser:
                         help="start:stop:step or comma list "
                              "(default: REPRO_BENCH_SIZES)")
     pbench.add_argument("--cores", type=int, default=None)
+    pbench.add_argument("--topology", default=None,
+                        help="topology registry spec for every point "
+                             "(e.g. 'cluster:2x24'); --cores defaults to "
+                             "the shape's full core count")
     pbench.add_argument("--jobs", type=int, default=None,
                         help="worker processes (default REPRO_BENCH_JOBS "
                              "or 1; 0 = all CPUs)")
@@ -767,6 +825,10 @@ def build_parser() -> argparse.ArgumentParser:
     ptune.add_argument("--sizes", default=None,
                        help="start:stop:step or comma list (default: the "
                             "built-in grid)")
+    ptune.add_argument("--topology", default=None,
+                       help="tune for a topology registry spec (e.g. "
+                            "'cluster:2x24'); the result merges into the "
+                            "table's per-topology slot")
     ptune.add_argument("--out", default=None,
                        help="output path (default: "
                             "benchmarks/results/selection_table.json)")

@@ -26,9 +26,12 @@ the values measured with these defaults.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Any
+from typing import TYPE_CHECKING, Any, Optional
 
 from repro.sim.clock import Clock
+
+if TYPE_CHECKING:
+    from repro.hw.topology import Topology
 
 
 @dataclass
@@ -48,11 +51,16 @@ class SCCConfig:
     dram_freq_hz: int = 800_000_000
 
     # ------------------------------------------------------------------ #
-    # Topology: 6x4 tile mesh, 2 cores per tile -> 48 cores
+    # Topology.  The default is the paper's chip: a 6x4 tile mesh, 2
+    # cores per tile -> 48 cores.  Setting ``topology`` to a registry
+    # spec (see repro.hw.topo, e.g. "mesh:8x8", "torus:6x4",
+    # "cluster:2x24") overrides the three legacy mesh fields below,
+    # which remain for the existing ablations and for the default key.
     # ------------------------------------------------------------------ #
     mesh_cols: int = 6
     mesh_rows: int = 4
     cores_per_tile: int = 2
+    topology: Optional[str] = None
 
     # ------------------------------------------------------------------ #
     # Memory geometry
@@ -79,6 +87,16 @@ class SCCConfig:
     dram_mesh_cycles_per_hop: int = 8
     # Cached private-memory access (L1/L2 hit), per cache line:
     cache_line_core_cycles: int = 4
+    # Board-level links between chips of a multi-chip "cluster:" topology
+    # (PCIe/TCP-bridged system-interface links on real SCC boards, with
+    # latencies in the tens of microseconds): a fixed per-crossing
+    # surcharge on every cross-chip MPB/flag access (8000 mesh cycles =
+    # 10 us at 800 MHz, doubled for the round trip), plus a per-line
+    # per-crossing bandwidth surcharge on bulk copies (400 mesh cycles =
+    # 0.5 us per 32 B line, ~64 MB/s).  Both only apply when the active
+    # topology has chips > 1.
+    inter_chip_access_mesh_cycles: int = 8000
+    inter_chip_line_mesh_cycles: int = 400
 
     # The SCC local-MPB arbiter bug (see paper Section IV-D).  True models
     # real silicon (workaround active, local MPB accesses routed through
@@ -196,6 +214,13 @@ class SCCConfig:
             if getattr(self, name) <= 0:
                 raise ValueError(
                     f"{name} must be positive, got {getattr(self, name)}")
+        for name in ("inter_chip_access_mesh_cycles",
+                     "inter_chip_line_mesh_cycles"):
+            if getattr(self, name) < 0:
+                raise ValueError(
+                    f"{name} must be non-negative, got {getattr(self, name)}")
+        if self.topology is not None:
+            self.resolved_topology()  # raises on a malformed spec
 
     def check_rank_count(self, cores: int) -> None:
         """Reject SPMD launches that do not fit the mesh.
@@ -207,18 +232,41 @@ class SCCConfig:
             raise ValueError(f"core count must be positive, got {cores}")
         if cores > self.num_cores:
             raise ValueError(
-                f"requested {cores} cores; the "
-                f"{self.mesh_cols}x{self.mesh_rows}x{self.cores_per_tile} "
-                f"mesh has only {self.num_cores}")
+                f"requested {cores} cores; topology "
+                f"{self.topology_key()!r} has only {self.num_cores}")
 
     # -- derived quantities ---------------------------------------------
+    def topology_key(self) -> str:
+        """Registry spec of the active topology.
+
+        The explicit ``topology`` field when set, otherwise the legacy
+        mesh fields rendered as a ``mesh:`` spec (``mesh:6x4`` for the
+        default chip).
+        """
+        if self.topology is not None:
+            return self.topology
+        key = f"mesh:{self.mesh_cols}x{self.mesh_rows}"
+        if self.cores_per_tile != 2:
+            key += f"x{self.cores_per_tile}"
+        return key
+
+    def resolved_topology(self) -> "Topology":
+        """The active :class:`Topology` (cached by the registry)."""
+        from repro.hw.topo import get_topology
+
+        return get_topology(self.topology_key())
+
     @property
     def num_tiles(self) -> int:
-        return self.mesh_cols * self.mesh_rows
+        if self.topology is None:
+            return self.mesh_cols * self.mesh_rows
+        return self.resolved_topology().num_tiles
 
     @property
     def num_cores(self) -> int:
-        return self.num_tiles * self.cores_per_tile
+        if self.topology is None:
+            return self.mesh_cols * self.mesh_rows * self.cores_per_tile
+        return self.resolved_topology().num_cores
 
     @property
     def mpb_payload_bytes(self) -> int:

@@ -21,7 +21,7 @@ from repro.hw.config import SCCConfig
 from repro.hw.flags import Flag
 from repro.hw.mpb import MPB
 from repro.hw.timing import LatencyModel
-from repro.hw.topology import Topology, default_topology
+from repro.hw.topology import Topology
 from repro.sim.clock import ps_to_us
 from repro.sim.engine import Simulator
 from repro.sim.events import Event, Timeout
@@ -168,10 +168,9 @@ class Machine:
         self.sim = Simulator(tracer)
         # Topology is immutable, so machines with the same geometry share
         # one instance (a sweep builds thousands of Machines; rebuilding
-        # the mesh helpers per point is pure waste).
-        self.topology: Topology = default_topology(
-            self.config.mesh_cols, self.config.mesh_rows,
-            self.config.cores_per_tile)
+        # the mesh helpers per point is pure waste).  The registry cache
+        # behind resolved_topology() provides the sharing.
+        self.topology: Topology = self.config.resolved_topology()
         self.latency = LatencyModel(self.config, self.topology)
         self.cores = [Core(self, i) for i in range(self.config.num_cores)]
         self.mpbs = [

@@ -106,6 +106,10 @@ class LatencyModel:
         hops = self.topology.hops(accessor, owner)
         # Same-tile remote access still crosses the tile's mesh interface.
         mesh = cfg.mpb_mesh_cycles_per_hop * max(1, 2 * hops)
+        crossings = self.topology.chip_crossings(accessor, owner)
+        if crossings:
+            # Board-level link tier: round trip over each slow crossing.
+            mesh += cfg.inter_chip_access_mesh_cycles * 2 * crossings
         return (self.core_cycles(cfg.mpb_remote_core_cycles)
                 + self.mesh_cycles(mesh))
 
@@ -163,6 +167,15 @@ class LatencyModel:
             return self.mesh_cycles(self.config.mpb_local_bug_mesh_cycles)
         return 0
 
+    def _inter_chip_line_extra(self, accessor: int, owner: int) -> int:
+        """Per-line bandwidth surcharge for cross-chip bulk copies: every
+        line funnels through the board-level link(s) between the chips."""
+        crossings = self.topology.chip_crossings(accessor, owner)
+        if crossings:
+            return self.mesh_cycles(
+                self.config.inter_chip_line_mesh_cycles * crossings)
+        return 0
+
     def mpb_write_bytes(self, writer: int, owner: int, nbytes: int) -> int:
         """Copy ``nbytes`` from ``writer``'s (cached) private memory into
         ``owner``'s MPB, through the write-combining buffer."""
@@ -183,7 +196,8 @@ class LatencyModel:
         n = self.lines(nbytes)
         per_line = (self.core_cycles(self.config.put_line_core_cycles)
                     + self.core_cycles(self.config.cache_line_core_cycles)
-                    + self._local_erratum_line_extra(writer, owner))
+                    + self._local_erratum_line_extra(writer, owner)
+                    + self._inter_chip_line_extra(writer, owner))
         return self._raw_mpb_access(writer, owner) + n * per_line
 
     def mpb_read_bytes(self, reader: int, owner: int, nbytes: int) -> int:
@@ -206,7 +220,8 @@ class LatencyModel:
         n = self.lines(nbytes)
         per_line = (self.core_cycles(self.config.get_line_core_cycles)
                     + self.core_cycles(self.config.cache_line_core_cycles)
-                    + self._local_erratum_line_extra(reader, owner))
+                    + self._local_erratum_line_extra(reader, owner)
+                    + self._inter_chip_line_extra(reader, owner))
         return self._raw_mpb_access(reader, owner) + n * per_line
 
     def mpb_stream_read(self, reader: int, owner: int, nbytes: int) -> int:
@@ -229,7 +244,8 @@ class LatencyModel:
         n = self.lines(nbytes)
         per_line = (self.core_cycles(self.config.get_line_core_cycles
                                      + self.config.stream_read_extra_cycles)
-                    + self._local_erratum_line_extra(reader, owner))
+                    + self._local_erratum_line_extra(reader, owner)
+                    + self._inter_chip_line_extra(reader, owner))
         return self._raw_mpb_access(reader, owner) + n * per_line
 
     def mpb_stream_write(self, writer: int, owner: int, nbytes: int) -> int:
@@ -253,7 +269,8 @@ class LatencyModel:
                               nbytes: int) -> int:
         n = self.lines(nbytes)
         per_line = (self.core_cycles(self.config.put_line_core_cycles)
-                    + self._local_erratum_line_extra(writer, owner))
+                    + self._local_erratum_line_extra(writer, owner)
+                    + self._inter_chip_line_extra(writer, owner))
         return self._raw_mpb_access(writer, owner) + n * per_line
 
     def private_copy_bytes(self, nbytes: int) -> int:

@@ -1,0 +1,174 @@
+"""Topology registry: named, parameterized hardware shapes.
+
+Mirrors the table-driven stack registry in :mod:`repro.core.registry`:
+spec strings of the form ``family:body`` resolve through a factory table
+to :class:`~repro.hw.topology.Topology` instances, so the hardware model
+is data the rest of the stack (config, latency model, cost model,
+selection tables, CLI) can key on instead of a hard-wired 6x4 constant.
+
+Built-in families and their spec grammar:
+
+``mesh:CxR[xT]``
+    Single-chip mesh of ``C`` columns x ``R`` rows (``T`` cores per tile,
+    default 2).  ``mesh:6x4`` is the paper's SCC chip.
+``torus:CxR[xT]``
+    Same geometry with both mesh axes wrapped; XY routing takes the
+    shorter wrap direction.
+``cluster:KxI``
+    ``K`` chips of ``I`` cores each, chained by board-level links.  Each
+    chip is a near-square mesh of ``I // 2`` two-core tiles (columns >=
+    rows); ``cluster:2x24`` is two half-populated SCC-style chips,
+    ``cluster:2x48`` two full 6x4 chips.
+
+``mesh`` and ``torus`` accept ``+``-separated option suffixes:
+
+``+mc=X.Y;X.Y;...``
+    Explicit memory-controller attach routers (replaces the quadrant
+    corners), e.g. ``mesh:8x8+mc=0.0;7.7``.
+``+w=X.Y-X.Y:W;...``
+    Heterogeneous link weights: the link joining adjacent routers
+    ``(X, Y)`` costs ``W`` hop units instead of 1, e.g.
+    ``mesh:6x4+w=2.0-3.0:4`` makes one column boundary four times slower.
+
+Custom shapes register through :func:`register_topology`; the factory
+receives the body text after ``family:`` and returns a ``Topology``.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Callable, Dict, Optional
+
+from repro.hw.topology import LinkWeight, Topology
+
+#: Factory signature: receives the spec body (text after ``family:``).
+TopologyFactory = Callable[[str], Topology]
+
+_FACTORIES: Dict[str, TopologyFactory] = {}
+
+
+def register_topology(family: str, factory: TopologyFactory, *,
+                      replace: bool = False) -> None:
+    """Register a topology family under a spec-prefix name."""
+    if not replace and family in _FACTORIES:
+        raise ValueError(f"topology family {family!r} already registered")
+    _FACTORIES[family] = factory
+
+
+def available_topologies() -> list[str]:
+    """Sorted names of the registered topology families."""
+    return sorted(_FACTORIES)
+
+
+@lru_cache(maxsize=64)
+def get_topology(spec: str) -> Topology:
+    """Resolve a ``family:body`` spec string to a cached Topology."""
+    family, _, body = spec.partition(":")
+    try:
+        factory = _FACTORIES[family]
+    except KeyError:
+        known = ", ".join(available_topologies())
+        raise KeyError(f"unknown topology family {family!r}; "
+                       f"known: {known}") from None
+    return factory(body)
+
+
+# -- spec parsing -----------------------------------------------------------
+
+def _bad(spec: str, reason: str) -> ValueError:
+    return ValueError(f"malformed topology spec {spec!r}: {reason}")
+
+
+def _parse_dims(text: str, spec: str) -> tuple[int, int, int]:
+    """Parse ``CxR`` or ``CxRxT`` into (cols, rows, cores_per_tile)."""
+    parts = text.split("x")
+    if len(parts) not in (2, 3) or not all(p.isdigit() for p in parts):
+        raise _bad(spec, "expected dimensions 'CxR' or 'CxRxT'")
+    cols, rows = int(parts[0]), int(parts[1])
+    cpt = int(parts[2]) if len(parts) == 3 else 2
+    if cols < 1 or rows < 1 or cpt < 1:
+        raise _bad(spec, "dimensions must be positive")
+    return cols, rows, cpt
+
+
+def _parse_router(text: str, spec: str) -> tuple[int, int]:
+    x, _, y = text.partition(".")
+    if not (x.isdigit() and y.isdigit()):
+        raise _bad(spec, f"expected router 'X.Y', got {text!r}")
+    return (int(x), int(y))
+
+
+def _parse_mc(text: str, spec: str) -> tuple[tuple[int, int], ...]:
+    entries = [e for e in text.split(";") if e]
+    if not entries:
+        raise _bad(spec, "+mc= needs at least one 'X.Y' router")
+    return tuple(_parse_router(e, spec) for e in entries)
+
+
+def _parse_weights(text: str, spec: str) -> tuple[LinkWeight, ...]:
+    links: list[LinkWeight] = []
+    for entry in (e for e in text.split(";") if e):
+        ends, _, weight = entry.partition(":")
+        a_text, sep, b_text = ends.partition("-")
+        if not sep or not weight.isdigit():
+            raise _bad(spec, f"expected link 'X.Y-X.Y:W', got {entry!r}")
+        links.append((_parse_router(a_text, spec),
+                      _parse_router(b_text, spec), int(weight)))
+    if not links:
+        raise _bad(spec, "+w= needs at least one 'X.Y-X.Y:W' link")
+    return tuple(links)
+
+
+def _make_mesh(body: str, spec: str, *, torus: bool) -> Topology:
+    dims, *options = body.split("+")
+    cols, rows, cpt = _parse_dims(dims, spec)
+    mc: Optional[tuple[tuple[int, int], ...]] = None
+    weights: Optional[tuple[LinkWeight, ...]] = None
+    for option in options:
+        key, sep, value = option.partition("=")
+        if not sep:
+            raise _bad(spec, f"expected option 'key=value', got {option!r}")
+        if key == "mc":
+            mc = _parse_mc(value, spec)
+        elif key == "w":
+            weights = _parse_weights(value, spec)
+        else:
+            raise _bad(spec, f"unknown option {key!r} (know 'mc' and 'w')")
+    try:
+        return Topology(cols, rows, cpt, torus=torus,
+                        mc_placement=mc, link_weights=weights)
+    except ValueError as err:
+        raise _bad(spec, str(err)) from None
+
+
+def _mesh_shape_for(tiles: int) -> tuple[int, int]:
+    """Near-square factoring of a tile count, columns >= rows."""
+    rows = 1
+    r = int(tiles ** 0.5)
+    while r >= 1:
+        if tiles % r == 0:
+            rows = r
+            break
+        r -= 1
+    return tiles // rows, rows
+
+
+def _make_cluster(body: str, spec: str) -> Topology:
+    parts = body.split("x")
+    if len(parts) != 2 or not all(p.isdigit() for p in parts):
+        raise _bad(spec, "expected 'cluster:<chips>x<cores-per-chip>'")
+    chips, cores = int(parts[0]), int(parts[1])
+    if chips < 1 or cores < 1:
+        raise _bad(spec, "chip and core counts must be positive")
+    if cores % 2 != 0:
+        raise _bad(spec, "cores per chip must be even (two cores per tile)")
+    cols, rows = _mesh_shape_for(cores // 2)
+    return Topology(cols, rows, 2, chips=chips)
+
+
+register_topology("mesh", lambda body: _make_mesh(
+    body, f"mesh:{body}", torus=False))
+register_topology("torus", lambda body: _make_mesh(
+    body, f"torus:{body}", torus=True))
+register_topology("cluster", lambda body: _make_cluster(
+    body, f"cluster:{body}"))

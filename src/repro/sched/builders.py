@@ -601,8 +601,9 @@ def build_schedule(kind: str, name: str, p: int, n: int, *,
     ignore it.  ``root`` matters for ``reduce`` and ``bcast`` only.
 
     ``synth/``-prefixed names resolve through the synthesizer's
-    parameterized families (:mod:`repro.sched.synth`) instead of this
-    registry, so synthesized winners are reachable wherever a builder
+    parameterized families (:mod:`repro.sched.synth`) and ``hier/``
+    names through the hierarchical builders (:mod:`repro.sched.hier`)
+    instead of this registry, so both are reachable wherever a builder
     name is (``algo="sched:synth/..."``, selection tables, the tuned
     stack).
     """
@@ -615,11 +616,16 @@ def build_schedule(kind: str, name: str, p: int, n: int, *,
 
         return build_synth_schedule(kind, name, p, n, part=part,
                                     root=root)
+    if name.startswith("hier/"):
+        from repro.sched.hier import build_hier_schedule
+
+        return build_hier_schedule(kind, name, p, n, part=part,
+                                   root=root)
     if name not in BUILDERS[kind]:
         raise KeyError(
             f"unknown {kind} schedule {name!r}; "
             f"known: {builder_names(kind)} plus synthesized "
-            f"'synth/...' names")
+            f"'synth/...' and hierarchical 'hier/g<G>' names")
     sizes = part.sizes if part is not None else None
     return _build_cached(kind, name, p, n, sizes, root)
 

@@ -365,8 +365,15 @@ def estimate_schedule_cost(sched: Schedule, model: LatencyModel, *,
         if hop_table is None:
             topo = model.topology
             n = topo.num_cores
-            hop_table = [[topo.hops(a, b) for b in range(n)]
-                         for a in range(n)]
+            if topo.chips > 1:
+                # Hops alone no longer determine the latency: the
+                # inter-chip tier depends on the crossing count, so the
+                # memo key must carry both.
+                hop_table = [[(topo.hops(a, b), topo.chip_crossings(a, b))
+                              for b in range(n)] for a in range(n)]
+            else:
+                hop_table = [[topo.hops(a, b) for b in range(n)]
+                             for a in range(n)]
             if memo is not None:
                 memo["hoptbl"] = hop_table
     for rank, plan in enumerate(sched.plans):

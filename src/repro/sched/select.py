@@ -33,12 +33,16 @@ from repro.core.ops import ReduceOp, SUM
 from repro.hw.config import SCCConfig
 from repro.hw.machine import CoreEnv, Machine
 from repro.hw.timing import LatencyModel
-from repro.hw.topology import default_topology
 from repro.sched.builders import SCHEDULED_KINDS, build_schedule, builder_names
 from repro.sched.cost import estimate_schedule_cost
 
-#: On-disk table format version.
-TABLE_SCHEMA = 1
+#: On-disk table format version.  Schema 2 adds per-topology sub-tables
+#: (the ``topologies`` payload); schema-1 files still load, as tables
+#: for the default chip.
+TABLE_SCHEMA = 2
+
+#: Topology a table without explicit provenance is assumed to describe.
+DEFAULT_TOPOLOGY_KEY = "mesh:6x4"
 
 #: Default tuning grid: rank counts spanning the SCC's range (powers of
 #: two, the odd prime 47, the full 48-core chip) and vector lengths from
@@ -55,8 +59,9 @@ def default_table_path() -> pathlib.Path:
 
 
 def known_algorithm(kind: str, name: str) -> bool:
-    """True iff ``name`` resolves for ``kind`` — a hand builder or a
-    well-formed synthesized ``synth/...`` name."""
+    """True iff ``name`` resolves for ``kind`` — a hand builder, a
+    well-formed synthesized ``synth/...`` name, or a hierarchical
+    ``hier/g<G>`` name."""
     if name in builder_names(kind):
         return True
     if name.startswith("synth/"):
@@ -64,6 +69,14 @@ def known_algorithm(kind: str, name: str) -> bool:
 
         try:
             parse_synth_name(kind, name)
+        except KeyError:
+            return False
+        return True
+    if name.startswith("hier/"):
+        from repro.sched.hier import parse_hier_name
+
+        try:
+            parse_hier_name(kind, name)
         except KeyError:
             return False
         return True
@@ -76,16 +89,20 @@ def select_algo(kind: str, p: int, n: int, model: LatencyModel, *,
 
     Candidates are the hand builders plus (with ``synth``, the default)
     the synthesized repertoire — chunked transforms and pipelined
-    chains, :func:`repro.sched.synth.candidate_names`.  Ties break
+    chains, :func:`repro.sched.synth.candidate_names` — plus, on
+    multi-chip topologies, the hierarchical leader schedules
+    (:func:`repro.sched.hier.hier_candidate_names`).  Ties break
     towards the alphabetically first name so the table is deterministic
     across runs and machines.
     """
+    from repro.sched.hier import hier_candidate_names
     from repro.sched.synth import candidate_names
 
     part = balanced_partition(n, p)
     names: list[str] = list(builder_names(kind))
     if synth:
         names += candidate_names(kind, p, n)
+    names += hier_candidate_names(kind, p, model.topology)
     best_name: Optional[str] = None
     best_cost = 0
     for name in sorted(names):
@@ -99,22 +116,58 @@ def select_algo(kind: str, p: int, n: int, model: LatencyModel, *,
 
 @dataclass
 class SelectionTable:
-    """Per-``(kind, p, n)`` algorithm picks, with nearest-point lookup."""
+    """Per-``(kind, p, n)`` algorithm picks, with nearest-point lookup.
+
+    A table describes one topology (``meta["topology"]``, the default
+    chip when absent) through its flat ``entries``; picks for *other*
+    topologies live in per-spec sub-tables under :attr:`topologies` and
+    are reached by passing ``topology=`` to :meth:`record`/:meth:`pick`.
+    There is no cross-topology fallback: an untuned topology returns
+    ``None`` and the tuned stack prices candidates on the fly instead.
+    """
 
     entries: dict = field(default_factory=dict)
     meta: dict = field(default_factory=dict)
+    topologies: dict = field(default_factory=dict)
 
-    def record(self, kind: str, p: int, n: int, algo: str) -> None:
+    @property
+    def topology_key(self) -> str:
+        """The topology this table's flat entries describe."""
+        return self.meta.get("topology", DEFAULT_TOPOLOGY_KEY)
+
+    def _slot(self, topology: Optional[str]) -> "SelectionTable":
+        """The (sub-)table holding entries for ``topology``; creates the
+        sub-table on first use."""
+        if topology is None or topology == self.topology_key:
+            return self
+        sub = self.topologies.get(topology)
+        if sub is None:
+            sub = self.topologies[topology] = SelectionTable(
+                meta={"topology": topology})
+        return sub
+
+    def record(self, kind: str, p: int, n: int, algo: str, *,
+               topology: Optional[str] = None) -> None:
+        slot = self._slot(topology)
+        if slot is not self:
+            slot.record(kind, p, n, algo)
+            return
         self.entries.setdefault(kind, {})[(p, n)] = algo
 
-    def pick(self, kind: str, p: int, n: int) -> Optional[str]:
+    def pick(self, kind: str, p: int, n: int, *,
+             topology: Optional[str] = None) -> Optional[str]:
         """The recorded pick, or the nearest tuned point's pick.
 
         Nearest means: among entries for this kind, minimize first the
         rank-count distance then the size distance (log-ish problems
         shift with p much faster than with n).  Returns None for kinds
-        the table has never tuned.
+        the table has never tuned — and for topologies it has never
+        tuned, so picks priced for one shape are never served to
+        another.
         """
+        if topology is not None and topology != self.topology_key:
+            sub = self.topologies.get(topology)
+            return sub.pick(kind, p, n) if sub is not None else None
         points = self.entries.get(kind)
         if not points:
             return None
@@ -132,11 +185,18 @@ class SelectionTable:
         """Overlay ``other``'s entries (and grid metadata) onto this table.
 
         The partial-regeneration primitive behind ``python -m repro tune
-        --kinds/--cores``: points tuned by ``other`` replace this
-        table's picks, every untouched point survives, and the meta grid
-        lists grow to the union so the provenance of a merged table
-        stays readable.
+        --kinds/--cores/--topology``: points tuned by ``other`` replace
+        this table's picks, every untouched point (including other
+        topologies' sub-tables) survives, and the meta grid lists grow
+        to the union so the provenance of a merged table stays readable.
+        A table tuned for a different topology merges into that
+        topology's sub-table, leaving the flat entries alone.
         """
+        self._slot(other.topology_key)._merge_flat(other)
+        for spec, sub in other.topologies.items():
+            self._slot(spec)._merge_flat(sub)
+
+    def _merge_flat(self, other: "SelectionTable") -> None:
         for kind, points in other.entries.items():
             self.entries.setdefault(kind, {}).update(points)
         for key in ("ps", "sizes"):
@@ -151,23 +211,32 @@ class SelectionTable:
                 self.meta[key] = value
 
     # -- persistence -----------------------------------------------------
+    def _entries_payload(self) -> dict:
+        return {
+            kind: [[p, n, algo]
+                   for (p, n), algo in sorted(points.items())]
+            for kind, points in sorted(self.entries.items())
+        }
+
     def to_json(self) -> str:
         payload = {
             "schema": TABLE_SCHEMA,
             "meta": self.meta,
-            "entries": {
-                kind: [[p, n, algo]
-                       for (p, n), algo in sorted(points.items())]
-                for kind, points in sorted(self.entries.items())
-            },
+            "entries": self._entries_payload(),
         }
+        if self.topologies:
+            payload["topologies"] = {
+                spec: {"meta": sub.meta,
+                       "entries": sub._entries_payload()}
+                for spec, sub in sorted(self.topologies.items())
+            }
         return json.dumps(payload, indent=2, sort_keys=True) + "\n"
 
     @classmethod
     def from_json(cls, text: str) -> "SelectionTable":
         payload = json.loads(text)
         schema = payload.get("schema")
-        if schema != TABLE_SCHEMA:
+        if schema not in (1, TABLE_SCHEMA):
             raise ValueError(
                 f"selection table schema {schema!r} unsupported "
                 f"(expected {TABLE_SCHEMA}); re-run 'python -m repro tune'")
@@ -175,6 +244,12 @@ class SelectionTable:
         for kind, rows in payload.get("entries", {}).items():
             for p, n, algo in rows:
                 table.record(kind, int(p), int(n), str(algo))
+        for spec, sub_payload in payload.get("topologies", {}).items():
+            sub = cls(meta=dict(sub_payload.get("meta", {})))
+            for kind, rows in sub_payload.get("entries", {}).items():
+                for p, n, algo in rows:
+                    sub.record(kind, int(p), int(n), str(algo))
+            table.topologies[spec] = sub
         return table
 
     def save(self, path: Optional[pathlib.Path] = None) -> pathlib.Path:
@@ -203,8 +278,7 @@ def build_selection_table(
     tables of earlier revisions.
     """
     config = config if config is not None else SCCConfig()
-    topology = default_topology(config.mesh_cols, config.mesh_rows,
-                                config.cores_per_tile)
+    topology = config.resolved_topology()
     model = LatencyModel(config, topology)
     kinds = tuple(kinds) if kinds is not None else SCHEDULED_KINDS
     table = SelectionTable(meta={
@@ -213,6 +287,7 @@ def build_selection_table(
         "blocking": blocking,
         "cores": config.num_cores,
         "synth": synth,
+        "topology": config.topology_key(),
     })
     for kind in kinds:
         for p in ps:
@@ -260,7 +335,9 @@ class TunedCommunicator(Communicator):
     def pick_algo(self, kind: str, p: int, n: int) -> str:
         """Resolve the schedule name for one call (``sched:`` prefixed)."""
         table = self._load_table()
-        name = table.pick(kind, p, n) if table is not None else None
+        topology = self.machine.config.topology_key()
+        name = (table.pick(kind, p, n, topology=topology)
+                if table is not None else None)
         if name is None or not known_algorithm(kind, name):
             key = (kind, p, n)
             name = self._fallback_picks.get(key)

@@ -48,7 +48,6 @@ from typing import Optional, Sequence
 from repro.core.blocks import Partition, balanced_partition
 from repro.hw.config import SCCConfig
 from repro.hw.timing import LatencyModel
-from repro.hw.topology import default_topology
 from repro.sched.builders import build_schedule, builder_names
 from repro.sched.chunking import PIPELINE_BUILDERS, chunk_schedule
 from repro.sched.cost import estimate_schedule_cost
@@ -203,11 +202,9 @@ def _schedule_rounds(sched: Schedule) -> int:
 
 
 def default_model(config: Optional[SCCConfig] = None) -> LatencyModel:
-    """A fresh memoized model over the default topology (tune's model)."""
+    """A fresh memoized model over the config's topology (tune's model)."""
     config = config if config is not None else SCCConfig()
-    topology = default_topology(config.mesh_cols, config.mesh_rows,
-                                config.cores_per_tile)
-    return LatencyModel(config, topology)
+    return LatencyModel(config, config.resolved_topology())
 
 
 def synthesize(kind: str, p: int, n: int,

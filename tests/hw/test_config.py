@@ -137,11 +137,17 @@ class TestRankCount:
             SCCConfig().check_rank_count(-4)
 
     def test_count_exceeding_mesh_rejected(self):
-        with pytest.raises(ValueError, match="mesh has only 48"):
+        with pytest.raises(ValueError, match="'mesh:6x4' has only 48"):
             SCCConfig().check_rank_count(49)
 
     def test_limit_follows_topology(self):
         small = SCCConfig(mesh_cols=2, mesh_rows=2, cores_per_tile=2)
         small.check_rank_count(8)
-        with pytest.raises(ValueError, match="mesh has only 8"):
+        with pytest.raises(ValueError, match="'mesh:2x2' has only 8"):
             small.check_rank_count(9)
+
+    def test_limit_follows_topology_spec(self):
+        cluster = SCCConfig(topology="cluster:2x24")
+        cluster.check_rank_count(48)
+        with pytest.raises(ValueError, match="'cluster:2x24' has only 48"):
+            cluster.check_rank_count(49)

@@ -1,0 +1,189 @@
+"""Hierarchical (leader-based) schedules: grammar, validity, equivalence."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.schedverify import assert_valid_schedule
+from repro.hw.config import SCCConfig
+from repro.hw.timing import LatencyModel
+from repro.hw.topo import get_topology
+from repro.sched.builders import build_schedule
+from repro.sched.hier import (
+    HIER_KINDS,
+    build_hier_schedule,
+    group_bounds,
+    hier_candidate_names,
+    parse_hier_name,
+)
+from repro.sched.interp import check_schedule_numeric, int_inputs, interpret
+from repro.sched.select import SelectionTable, select_algo
+
+
+class TestNameGrammar:
+    def test_parse_returns_group_count(self):
+        assert parse_hier_name("allreduce", "hier/g2") == 2
+        assert parse_hier_name("bcast", "hier/g16") == 16
+
+    @pytest.mark.parametrize("name", [
+        "hierg2",          # missing prefix
+        "hier/2",          # missing g
+        "hier/gx",         # non-numeric
+        "hier/g1",         # fewer than two groups
+        "hier/g",          # empty count
+    ])
+    def test_malformed_names_rejected(self, name):
+        with pytest.raises(KeyError, match="hier/g<G>"):
+            parse_hier_name("allreduce", name)
+
+    def test_unscheduled_kind_rejected(self):
+        with pytest.raises(KeyError, match="no hierarchical builder"):
+            parse_hier_name("alltoall", "hier/g2")
+
+    def test_build_schedule_routes_hier_names(self):
+        sched = build_schedule("allreduce", "hier/g2", 8, 4)
+        assert sched.name == "hier/g2"
+        assert sched.meta["groups"] == 2
+
+    def test_too_many_groups_rejected(self):
+        with pytest.raises(ValueError, match="needs at least"):
+            build_hier_schedule("allreduce", "hier/g4", 3, 4)
+
+
+class TestGroupBounds:
+    def test_even_split(self):
+        assert group_bounds(48, 2) == [(0, 24), (24, 48)]
+
+    def test_remainder_goes_to_first_groups(self):
+        assert group_bounds(7, 3) == [(0, 3), (3, 5), (5, 7)]
+
+    def test_bounds_cover_all_ranks(self):
+        for p in (4, 6, 7, 48, 96):
+            for g in (2, 3, 4):
+                bounds = group_bounds(p, g)
+                assert bounds[0][0] == 0 and bounds[-1][1] == p
+                for (_, hi), (lo, _) in zip(bounds, bounds[1:]):
+                    assert hi == lo
+
+
+class TestValidity:
+    @pytest.mark.parametrize("kind", HIER_KINDS)
+    @pytest.mark.parametrize("p", [4, 6, 48])
+    @pytest.mark.parametrize("groups", [2, 3])
+    def test_schedules_verify_and_compute(self, kind, p, groups):
+        root = 0 if kind == "allreduce" else p - 1
+        sched = build_hier_schedule(kind, f"hier/g{groups}", p, 8,
+                                    root=root)
+        assert_valid_schedule(sched)
+        check_schedule_numeric(sched)
+
+
+class TestFlatEquivalence:
+    """hier allreduce produces bit-identical results to the flat
+    algorithms: inputs are integer-valued doubles, so IEEE sums are exact
+    regardless of association order."""
+
+    @pytest.mark.parametrize("p", [4, 6, 96])
+    @pytest.mark.parametrize("groups", [2, 3])
+    def test_allreduce_matches_flat(self, p, groups):
+        n = 16
+        inputs = int_inputs(p, n)
+        hier = interpret(
+            build_hier_schedule("allreduce", f"hier/g{groups}", p, n),
+            inputs)
+        flat = interpret(
+            build_schedule("allreduce", "recursive_doubling", p, n),
+            inputs)
+        for r in range(p):
+            assert np.array_equal(hier[r], flat[r])
+
+    @pytest.mark.parametrize("p", [4, 6, 96])
+    def test_reduce_matches_flat_at_root(self, p):
+        n = 16
+        root = p - 1
+        inputs = int_inputs(p, n)
+        hier = interpret(
+            build_hier_schedule("reduce", "hier/g2", p, n, root=root),
+            inputs)
+        flat = interpret(
+            build_schedule("reduce", "binomial", p, n, root=root),
+            inputs)
+        assert np.array_equal(hier[root], flat[root])
+
+
+class TestCandidates:
+    def test_single_chip_offers_no_candidates(self):
+        topo = get_topology("mesh:6x4")
+        assert hier_candidate_names("allreduce", 48, topo) == ()
+        assert hier_candidate_names("allreduce", 48, None) == ()
+
+    def test_cluster_offers_chip_count_and_two(self):
+        topo = get_topology("cluster:3x16")
+        assert hier_candidate_names("allreduce", 48, topo) == \
+            ("hier/g3", "hier/g2")
+
+    def test_duplicate_group_counts_collapse(self):
+        topo = get_topology("cluster:2x24")
+        assert hier_candidate_names("allreduce", 48, topo) == ("hier/g2",)
+
+    def test_unscheduled_kind_offers_nothing(self):
+        topo = get_topology("cluster:2x24")
+        assert hier_candidate_names("alltoall", 48, topo) == ()
+
+    def test_select_algo_picks_hier_on_cluster(self):
+        config = SCCConfig(topology="cluster:2x24")
+        model = LatencyModel(config, config.resolved_topology())
+        assert select_algo("allreduce", 48, 8, model) == "hier/g2"
+
+
+class TestSchemaTwoTable:
+    def test_record_and_pick_per_topology(self):
+        table = SelectionTable(meta={"topology": "mesh:6x4"})
+        table.record("allreduce", 48, 8, "recursive_doubling")
+        table.record("allreduce", 48, 8, "hier/g2",
+                     topology="cluster:2x24")
+        assert table.pick("allreduce", 48, 8) == "recursive_doubling"
+        assert table.pick("allreduce", 48, 8,
+                          topology="cluster:2x24") == "hier/g2"
+
+    def test_unknown_topology_returns_none(self):
+        table = SelectionTable()
+        table.record("allreduce", 48, 8, "recursive_doubling")
+        assert table.pick("allreduce", 48, 8,
+                          topology="cluster:9x10") is None
+
+    def test_json_round_trip_keeps_sub_tables(self):
+        table = SelectionTable(meta={"topology": "mesh:6x4"})
+        table.record("allreduce", 48, 8, "recursive_doubling")
+        table.record("allreduce", 48, 8, "hier/g2",
+                     topology="cluster:2x24")
+        loaded = SelectionTable.from_json(table.to_json())
+        assert loaded.pick("allreduce", 48, 8,
+                           topology="cluster:2x24") == "hier/g2"
+        assert loaded.pick("allreduce", 48, 8) == "recursive_doubling"
+
+    def test_merge_routes_foreign_topology_to_sub_table(self):
+        base = SelectionTable(meta={"topology": "mesh:6x4"})
+        base.record("allreduce", 48, 8, "recursive_doubling")
+        cluster = SelectionTable(meta={"topology": "cluster:2x24"})
+        cluster.record("allreduce", 48, 8, "hier/g2")
+        base.merge(cluster)
+        assert base.pick("allreduce", 48, 8) == "recursive_doubling"
+        assert base.pick("allreduce", 48, 8,
+                         topology="cluster:2x24") == "hier/g2"
+
+
+class TestSimulatedWin:
+    def test_hier_beats_flat_allreduce_on_cluster(self):
+        """The acceptance property: on the multi-chip topology the
+        two-group hierarchy crosses the slow board link once instead of
+        every round, and the full simulator agrees with the cost model."""
+        from repro.bench.runner import measure_collective
+
+        config = SCCConfig(topology="cluster:2x24")
+        hier = measure_collective("allreduce", "lightweight_balanced", 8,
+                                  cores=48, config=config,
+                                  algo="sched:hier/g2")
+        flat = measure_collective("allreduce", "lightweight_balanced", 8,
+                                  cores=48, config=config,
+                                  algo="sched:recursive_doubling")
+        assert hier < flat

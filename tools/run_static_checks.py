@@ -81,6 +81,7 @@ def _run_sched_verify() -> str:
     """Verify the shipped schedule repertoire and the broken fixtures."""
     from repro.analysis.sched_fixtures import broken_schedules
     from repro.analysis.schedverify import (ScheduleVerifyError,
+                                            verify_hier_repertoire,
                                             verify_repertoire,
                                             verify_schedule,
                                             verify_synth_repertoire)
@@ -94,6 +95,11 @@ def _run_sched_verify() -> str:
         checked += verify_synth_repertoire()
     except ScheduleVerifyError as err:
         print(f"FAIL sched-verify (synthesized repertoire)\n{err}")
+        return "FAIL"
+    try:
+        checked += verify_hier_repertoire()
+    except ScheduleVerifyError as err:
+        print(f"FAIL sched-verify (hierarchical repertoire)\n{err}")
         return "FAIL"
     missed = []
     for name, (sched, rule) in broken_schedules().items():
